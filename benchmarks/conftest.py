@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at CI
+scale (set ``REPRO_FULL=1`` for paper-scale windows) and prints the rows
+the paper reports.  Run with ``pytest benchmarks/ --benchmark-only -s``.
+"""

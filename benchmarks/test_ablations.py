@@ -1,0 +1,83 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Quantifies what each interpretation/extension buys on a 4x4 torus under
+uniform-random load at a fixed medium rate:
+
+- ``black_reentry`` — CI-backed injection into a black WB (throughput);
+- ``reclaim_banked_ci`` — recycling of stranded reservations (liveness /
+  throughput);
+- the literal Section-3 variant — which deadlocks outright.
+"""
+
+from repro.core.wbfc import WormBubbleFlowControl
+from repro.experiments.runner import current_scale, format_table
+from repro.metrics.stats import MetricsCollector
+from repro.network.network import Network
+from repro.routing.dor import DimensionOrderRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+
+RATE = 0.12
+
+
+def _run_variant(fc, scale):
+    topo = Torus((4, 4))
+    net = Network(
+        topo, DimensionOrderRouting(topo), fc, SimulationConfig(num_vcs=1)
+    )
+    wl = SyntheticTraffic(UniformRandom(topo), RATE, seed=3)
+    mc = MetricsCollector(net)
+    wd = Watchdog(net, deadlock_window=5_000, raise_on_deadlock=False)
+    sim = Simulator(net, wl, watchdog=wd)
+    sim.run(scale.warmup)
+    mc.begin(sim.cycle)
+    sim.run(scale.measure)
+    mc.end(sim.cycle)
+    s = mc.summary()
+    return {
+        "latency": s.avg_latency,
+        "throughput": s.throughput,
+        "deadlocked": wd.deadlocked,
+    }
+
+
+def test_wbfc_feature_ablations(benchmark):
+    scale = current_scale()
+
+    def run_all():
+        return {
+            "full": _run_variant(WormBubbleFlowControl(), scale),
+            "no black re-entry": _run_variant(
+                WormBubbleFlowControl(black_reentry=False), scale
+            ),
+            "no CI reclaim": _run_variant(
+                WormBubbleFlowControl(reclaim_banked_ci=False), scale
+            ),
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{r['latency']:.1f}",
+            f"{r['throughput']:.3f}",
+            "yes" if r["deadlocked"] else "no",
+        ]
+        for name, r in results.items()
+    ]
+    print(
+        "\n"
+        + format_table(
+            ["variant", "latency", "throughput", "deadlocked"],
+            rows,
+            f"WBFC-1VC ablations, 4x4 UR @ {RATE} flits/node/cycle",
+        )
+    )
+    assert not results["full"]["deadlocked"]
+    # each extension pays for itself in latency at this load
+    assert results["full"]["latency"] <= results["no black re-entry"]["latency"] * 1.1
+    assert results["full"]["latency"] <= results["no CI reclaim"]["latency"] * 1.1

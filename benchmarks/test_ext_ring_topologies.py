@@ -1,0 +1,18 @@
+"""Section 6 extensions: rings, hierarchical rings, non-atomic cases."""
+
+from repro.experiments.extensions import render_extensions, run_extensions
+from repro.experiments.runner import current_scale
+
+
+def test_section6_extensions(benchmark):
+    scale = current_scale()
+    results = benchmark.pedantic(
+        lambda: run_extensions(scale=scale), rounds=1, iterations=1
+    )
+    print("\n" + render_extensions(results))
+    assert all(r.deadlock_free for r in results), [
+        r.name for r in results if not r.deadlock_free
+    ]
+    assert all(r.packets > 0 for r in results)
+    names = {r.name for r in results}
+    assert {"WBFC ring", "WBFC hierarchical", "CBS case (c)", "WBFC case (d)"} <= names

@@ -1,0 +1,21 @@
+"""Figure 1: router area & power breakdown for 3/2/1 VCs.
+
+Paper anchors: buffers are 43 % of router area at 3 VCs and 35 % at
+2 VCs; buffer static power is 0.087/0.058/0.029 W; control logic more
+than halves from 3 VCs to 1 VC.
+"""
+
+import pytest
+
+from repro.experiments.fig01 import figure1_rows, render_figure1
+
+
+def test_fig01_area_power(benchmark):
+    rows = benchmark(figure1_rows)
+    print("\n" + render_figure1())
+    by_vc = {r.num_vcs: r for r in rows}
+    assert by_vc[3].buffer_area_um2 / by_vc[3].total_area == pytest.approx(0.43, abs=0.01)
+    assert by_vc[2].buffer_area_um2 / by_vc[2].total_area == pytest.approx(0.35, abs=0.01)
+    assert by_vc[3].buffer_static_w == pytest.approx(0.087, rel=0.01)
+    assert by_vc[1].buffer_static_w == pytest.approx(0.029, rel=0.01)
+    assert by_vc[1].ctrl_static_w < 0.5 * by_vc[3].ctrl_static_w

@@ -1,0 +1,37 @@
+"""Figure 10: latency vs injection rate on the 4x4 torus, four patterns.
+
+Paper shape: WBFC-2VC saturates above DL-2VC on every pattern (the gap is
+largest on transpose and smallest on bit-complement), WBFC-3VC is at
+least on par with DL-3VC, and WBFC-1VC — the minimal configuration —
+works across the whole load range without deadlock.
+"""
+
+from repro.experiments.fig10 import latency_load_study, render_study
+from repro.experiments.runner import current_scale
+
+
+def test_fig10_latency_load_4x4(benchmark):
+    scale = current_scale()
+    study = benchmark.pedantic(
+        lambda: latency_load_study(4, scale=scale), rounds=1, iterations=1
+    )
+    print("\n" + render_study(study))
+
+    def sat(pattern, design):
+        return study.curves[(pattern, design)].saturation()
+
+    for pattern in ("UR", "TP", "BC"):
+        assert sat(pattern, "WBFC-2VC") > sat(pattern, "DL-2VC"), pattern
+    # tornado on a 4x4 shifts by a single hop (pure neighbour traffic) and
+    # leaves adaptivity nothing to exploit; accept parity within 15%
+    # (see EXPERIMENTS.md for the deviation note).
+    assert sat("TO", "WBFC-2VC") >= 0.85 * sat("TO", "DL-2VC")
+    for pattern in ("UR", "TP", "BC", "TO"):
+        assert sat(pattern, "WBFC-3VC") >= 0.95 * sat(pattern, "DL-3VC"), pattern
+        # the minimal design keeps working (nonzero saturation, no deadlock)
+        assert sat(pattern, "WBFC-1VC") > 0.03, pattern
+    # paper: the adaptive win is largest on transpose, smallest on BC
+    gain = {
+        p: sat(p, "WBFC-2VC") / sat(p, "DL-2VC") for p in ("UR", "TP", "BC")
+    }
+    assert gain["TP"] > gain["BC"]

@@ -1,0 +1,28 @@
+"""Figure 11: latency vs injection rate on the 8x8 torus.
+
+Paper shape: the same ordering as the 4x4 (Figure 10), with WBFC's
+advantage over Dateline growing with network size.
+"""
+
+from repro.experiments.fig10 import latency_load_study, render_study
+from repro.experiments.runner import current_scale
+
+
+def test_fig11_latency_load_8x8(benchmark):
+    scale = current_scale()
+    # UR and TP carry the headline comparisons; BC/TO behave like Fig. 10.
+    patterns = ("UR", "TP") if scale.name == "ci" else ("UR", "TP", "BC", "TO")
+    study = benchmark.pedantic(
+        lambda: latency_load_study(8, patterns=patterns, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + render_study(study))
+
+    def sat(pattern, design):
+        return study.curves[(pattern, design)].saturation()
+
+    for pattern in patterns:
+        assert sat(pattern, "WBFC-2VC") > sat(pattern, "DL-2VC"), pattern
+        assert sat(pattern, "WBFC-3VC") >= 0.9 * sat(pattern, "DL-3VC"), pattern
+        assert sat(pattern, "WBFC-1VC") > 0.02, pattern

@@ -1,0 +1,28 @@
+"""Figure 12: injection delay at 10/50/90 % of each design's saturation.
+
+Paper shape: WBFC-1VC pays the highest injection delay (its rules are the
+strictest and every VC is an escape VC), while WBFC-2VC's overall delay
+drops to DL-2VC's level or below because most packets ride adaptive VCs
+that WBFC never restricts.
+"""
+
+from repro.experiments.fig12 import injection_delay_study, render_injection_delay
+from repro.experiments.runner import current_scale
+
+
+def test_fig12_injection_delay(benchmark):
+    scale = current_scale()
+    radices = (4,) if scale.name == "ci" else (4, 8)
+    results = benchmark.pedantic(
+        lambda: injection_delay_study(radices, scale=scale), rounds=1, iterations=1
+    )
+    print("\n" + render_injection_delay(results))
+    for radix, reports in results.items():
+        by_name = {r.design: r for r in reports}
+        wbfc1 = by_name["WBFC-1VC"]
+        dl2 = by_name["DL-2VC"]
+        wbfc2 = by_name["WBFC-2VC"]
+        # strictest rules, highest delay (compare at matched 50% rel. load)
+        assert wbfc1.delays[0.5] > dl2.delays[0.5]
+        # adaptive VCs absorb most injections for WBFC-2VC
+        assert wbfc2.delays[0.5] <= dl2.delays[0.5] * 1.5

@@ -1,0 +1,31 @@
+"""Figure 13: PARSEC execution time, normalized to WBFC-1VC.
+
+Paper shape: every richer design finishes a few percent faster than
+WBFC-1VC, WBFC-2VC/3VC beat DL-2VC/3VC, the biggest reduction appears on
+the network-bound benchmarks (dedup, canneal), and the compute-bound ones
+(blackscholes, swaptions) barely move.
+"""
+
+from repro.experiments.fig13 import render_parsec, run_parsec
+from repro.experiments.runner import current_scale
+
+CI_BENCHES = ("dedup", "canneal", "blackscholes", "swaptions")
+
+
+def test_fig13_parsec_execution_time(benchmark):
+    scale = current_scale()
+    benches = CI_BENCHES if scale.name == "ci" else None
+    result = benchmark.pedantic(
+        lambda: run_parsec(benches, scale=scale), rounds=1, iterations=1
+    )
+    print("\n" + render_parsec(result))
+    norm = result.normalized_times()
+    # all designs at least match the minimal one on network-bound benches
+    for bench in ("dedup", "canneal"):
+        assert norm[(bench, "DL-2VC")] <= 1.0
+        assert norm[(bench, "WBFC-2VC")] <= norm[(bench, "DL-2VC")] + 0.005
+        assert norm[(bench, "WBFC-3VC")] <= norm[(bench, "DL-3VC")] + 0.005
+    # network-bound benchmarks gain more than compute-bound ones
+    assert norm[("dedup", "WBFC-3VC")] < norm[("blackscholes", "WBFC-3VC")] + 0.02
+    # compute-bound benchmarks are nearly design-insensitive (paper: ~1-3%)
+    assert norm[("blackscholes", "DL-3VC")] > 0.9

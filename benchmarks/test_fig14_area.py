@@ -1,0 +1,24 @@
+"""Figure 14: router area breakdown for the five designs.
+
+Paper anchors: WBFC-1VC vs DL-2VC saves 50 % buffer / 61 % control /
+17 % total area; WBFC-2VC vs DL-3VC saves 33 % / 52 % / 15 %; the WBFC
+hardware overhead is ~3.4 % of WBFC-3VC's total.
+"""
+
+import pytest
+
+from repro.experiments.fig14 import figure14_areas, render_figure14
+
+
+def test_fig14_router_area(benchmark):
+    areas = benchmark(figure14_areas)
+    print("\n" + render_figure14())
+    wb1, dl2 = areas["WBFC-1VC"], areas["DL-2VC"]
+    wb2, dl3 = areas["WBFC-2VC"], areas["DL-3VC"]
+    wb3 = areas["WBFC-3VC"]
+    assert 1 - wb1.buffer / dl2.buffer == pytest.approx(0.50, abs=0.02)
+    assert 1 - wb1.ctrl / dl2.ctrl == pytest.approx(0.61, abs=0.03)
+    assert 1 - wb1.total / dl2.total == pytest.approx(0.17, abs=0.02)
+    assert 1 - wb2.buffer / dl3.buffer == pytest.approx(0.33, abs=0.02)
+    assert 1 - wb2.total / dl3.total == pytest.approx(0.15, abs=0.02)
+    assert wb3.overhead / wb3.total == pytest.approx(0.034, abs=0.01)

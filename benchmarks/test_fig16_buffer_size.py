@@ -1,0 +1,28 @@
+"""Figure 16: impact of buffer size (1/3/5 flits) on the 8x8 torus.
+
+Paper shape: WBFC-3VC beats DL-3VC at every depth (+42.8 % at 1 flit,
++30.8 % at 3, +21 % at 5); throughput grows with depth for both designs;
+WBFC-3VC with 3-flit buffers outperforms DL-3VC with 5-flit buffers.
+"""
+
+from repro.experiments.fig16 import buffer_size_study, render_figure16
+from repro.experiments.runner import current_scale
+
+
+def test_fig16_buffer_size(benchmark):
+    scale = current_scale()
+    curves = benchmark.pedantic(
+        lambda: buffer_size_study(scale=scale), rounds=1, iterations=1
+    )
+    print("\n" + render_figure16(curves))
+
+    def sat(design, depth):
+        return curves[(design, depth)].saturation()
+
+    for depth in (1, 3, 5):
+        assert sat("WBFC-3VC", depth) > 0.9 * sat("DL-3VC", depth), depth
+    # throughput grows with buffer depth for both techniques
+    for design in ("DL-3VC", "WBFC-3VC"):
+        assert sat(design, 1) < sat(design, 5), design
+    # the headline crossover: WBFC at 3 flits vs Dateline at 5 flits
+    assert sat("WBFC-3VC", 3) > 0.85 * sat("DL-3VC", 5)

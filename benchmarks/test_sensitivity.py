@@ -1,0 +1,33 @@
+"""Sensitivity studies: scalability (Section 5.2) and valve tuning."""
+
+from repro.experiments.runner import current_scale
+from repro.experiments.sensitivity import (
+    reclaim_patience_study,
+    render_reclaim_patience,
+    render_scalability,
+    scalability_study,
+)
+
+
+def test_scalability_gain_grows_with_network_size(benchmark):
+    scale = current_scale()
+    radices = (4, 8) if scale.name == "ci" else (4, 6, 8)
+    points = benchmark.pedantic(
+        lambda: scalability_study(radices, scale=scale), rounds=1, iterations=1
+    )
+    print("\n" + render_scalability(points))
+    gains = {p.radix: p.gain for p in points}
+    # Section 5.2: the WBFC benefit increases with network size
+    assert gains[max(gains)] > gains[min(gains)]
+    assert gains[max(gains)] > 0
+
+
+def test_reclaim_patience_default_is_sane(benchmark):
+    scale = current_scale()
+    results = benchmark.pedantic(
+        lambda: reclaim_patience_study(scale=scale), rounds=1, iterations=1
+    )
+    print("\n" + render_reclaim_patience(results))
+    # the default (2 cycles) must not be far from the best setting tried
+    best = min(results.values())
+    assert results[2] <= best * 1.5

@@ -1,0 +1,11 @@
+"""Table 1: simulation parameters — regenerated from live defaults."""
+
+from repro.experiments.table1 import render_table1, table1_rows
+
+
+def test_table1_config(benchmark):
+    rows = benchmark(table1_rows)
+    print("\n" + render_table1())
+    assert len(rows) == 10
+    labels = {r[0] for r in rows}
+    assert {"Network topology", "Router", "Link bandwidth", "Memory latency"} <= labels

@@ -1,0 +1,60 @@
+"""Compare the paper's five designs on a 4x4 torus (mini Figure 10).
+
+Sweeps injection rate for WBFC-1VC / DL-2VC / WBFC-2VC / DL-3VC /
+WBFC-3VC under a chosen traffic pattern and prints latency curves plus
+saturation throughputs.
+
+Run with::
+
+    python examples/compare_designs.py [UR|TP|BC|TO]
+"""
+
+import sys
+
+from repro import PAPER_DESIGNS, Torus
+from repro.experiments.runner import format_table
+from repro.metrics import sweep
+
+
+def main() -> None:
+    pattern = sys.argv[1].upper() if len(sys.argv) > 1 else "UR"
+    rates = [0.02, 0.08, 0.15, 0.22, 0.30, 0.38, 0.46]
+    curves = {}
+    for design in PAPER_DESIGNS:
+        print(f"sweeping {design} ...", flush=True)
+        curves[design] = sweep(
+            design,
+            lambda: Torus((4, 4)),
+            pattern,
+            rates,
+            warmup=500,
+            measure=3_000,
+        )
+
+    rows = []
+    for rate in rates:
+        row = [f"{rate:.2f}"]
+        for design in PAPER_DESIGNS:
+            point = next(
+                p for p in curves[design].points if p.injection_rate == rate
+            )
+            row.append(f"{min(point.summary.avg_latency, 9999):.1f}")
+        rows.append(row)
+    print()
+    print(format_table(["rate", *PAPER_DESIGNS], rows, f"Average latency, {pattern}"))
+
+    print()
+    sat_rows = [
+        [design, f"{curves[design].saturation():.3f}"] for design in PAPER_DESIGNS
+    ]
+    print(
+        format_table(
+            ["design", "saturation"],
+            sat_rows,
+            "Saturation throughput (latency = 3x zero-load)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Closed-loop coherence workload (the PARSEC substitute, mini Figure 13).
+
+Runs two benchmarks to completion on three designs and prints execution
+times normalized to WBFC-1VC — the quantity Figure 13 plots.  dedup is
+network-bound (designs spread apart); swaptions is compute-bound (designs
+barely differ).
+
+Run with::
+
+    python examples/parsec_workload.py
+"""
+
+from repro import Simulator, Torus, Watchdog, build_network
+from repro.experiments.runner import format_table
+from repro.traffic import CoherenceWorkload
+
+DESIGNS = ("WBFC-1VC", "DL-2VC", "WBFC-2VC")
+BENCHMARKS = ("dedup", "swaptions")
+
+
+def main() -> None:
+    rows = []
+    for bench in BENCHMARKS:
+        times = {}
+        for design in DESIGNS:
+            network = build_network(design, Torus((4, 4)))
+            workload = CoherenceWorkload(
+                network, bench, transactions_per_core=100, seed=11
+            )
+            simulator = Simulator(
+                network, workload, watchdog=Watchdog(network, deadlock_window=50_000)
+            )
+            times[design] = workload.run_to_completion(simulator)
+            print(f"{bench:>12} on {design}: {times[design]} cycles", flush=True)
+        base = times["WBFC-1VC"]
+        rows.append([bench, *(f"{times[d] / base:.3f}" for d in DESIGNS)])
+    print()
+    print(
+        format_table(
+            ["benchmark", *DESIGNS],
+            rows,
+            "Execution time normalized to WBFC-1VC (mini Figure 13)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""repro: a reproduction of Worm-Bubble Flow Control (HPCA 2013).
+
+A flit-level wormhole/VCT network-on-chip simulator whose centerpiece is
+Worm-Bubble Flow Control (WBFC), plus the Dateline, BFC and CBS baselines,
+the paper's five compared designs, synthetic and closed-loop workloads, an
+Orion-style power/area model, and harnesses regenerating every figure.
+
+Quickstart::
+
+    from repro import build_network, Torus, Simulator
+    from repro.traffic import SyntheticTraffic, make_pattern
+    from repro.metrics import MetricsCollector
+
+    net = build_network("WBFC-1VC", Torus((4, 4)))
+    traffic = SyntheticTraffic(make_pattern("UR", net.topology), 0.1)
+    stats = MetricsCollector(net)
+    sim = Simulator(net, traffic)
+    stats.begin(0)
+    sim.run(10_000)
+    stats.end(10_000)
+    print(stats.summary().as_row())
+"""
+
+from .core import (
+    FlitLevelWBFC,
+    InvariantViolation,
+    WBColor,
+    WormBubbleFlowControl,
+    check_invariants,
+    ring_ledger,
+)
+from .experiments import DESIGNS, PAPER_DESIGNS, Design, build_network
+from .flowcontrol import (
+    CriticalBubbleScheme,
+    DatelineFlowControl,
+    LocalizedBubbleFlowControl,
+    UnrestrictedFlowControl,
+)
+from .metrics import MetricsCollector, saturation_throughput, sweep
+from .network import Network, Packet, Switching
+from .sim import DeadlockError, SimulationConfig, Simulator, Watchdog
+from .topology import (
+    BidirectionalRing,
+    HierarchicalRing,
+    Mesh,
+    Torus,
+    UnidirectionalRing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core contribution
+    "WormBubbleFlowControl",
+    "FlitLevelWBFC",
+    "WBColor",
+    "check_invariants",
+    "ring_ledger",
+    "InvariantViolation",
+    # baselines
+    "DatelineFlowControl",
+    "CriticalBubbleScheme",
+    "LocalizedBubbleFlowControl",
+    "UnrestrictedFlowControl",
+    # network & simulation
+    "Network",
+    "Packet",
+    "Switching",
+    "SimulationConfig",
+    "Simulator",
+    "Watchdog",
+    "DeadlockError",
+    # topologies
+    "Torus",
+    "Mesh",
+    "UnidirectionalRing",
+    "BidirectionalRing",
+    "HierarchicalRing",
+    # experiments & metrics
+    "DESIGNS",
+    "PAPER_DESIGNS",
+    "Design",
+    "build_network",
+    "MetricsCollector",
+    "sweep",
+    "saturation_throughput",
+]

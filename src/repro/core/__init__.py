@@ -1,0 +1,20 @@
+"""The paper's contribution: Worm-Bubble Flow Control and its extensions."""
+
+from .colors import WBColor
+from .flit_level import FlitLevelWBFC
+from .invariants import InvariantViolation, RingLedger, check_invariants, ring_ledger
+from .literal import PaperLiteralWBFC
+from .state import RingContext
+from .wbfc import WormBubbleFlowControl
+
+__all__ = [
+    "WBColor",
+    "RingContext",
+    "WormBubbleFlowControl",
+    "FlitLevelWBFC",
+    "PaperLiteralWBFC",
+    "check_invariants",
+    "ring_ledger",
+    "RingLedger",
+    "InvariantViolation",
+]

@@ -1,0 +1,28 @@
+"""Worm-bubble colors.
+
+WBFC colors every (potentially empty) escape-VC buffer of a ring:
+
+- **WHITE** — an ordinary worm-bubble, usable by any packet;
+- **BLACK** — reserved: usable only by in-transit packets (and displaced
+  backward rather than consumed);
+- **GRAY** — the per-ring starvation token, grabable only by an injecting
+  packet that already holds at least one reservation (``CI > 0``).
+
+The color field is meaningful only while the buffer is empty; an occupied
+buffer's field is parked at WHITE and rewritten when the buffer is vacated.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["WBColor"]
+
+
+class WBColor(enum.Enum):
+    WHITE = "white"
+    GRAY = "gray"
+    BLACK = "black"
+
+    def __repr__(self) -> str:
+        return f"WBColor.{self.name}"

@@ -1,0 +1,141 @@
+"""Checkable WBFC invariants (test oracles).
+
+Two conservation laws follow directly from the scheme's token algebra and
+must hold at *every* cycle boundary:
+
+1. **Gray conservation** — each ring owns exactly one gray token, which is
+   either on an empty buffer, held by an in-flight packet that grabbed it
+   at injection, or carried as displacement debt.
+
+2. **Black conservation** — black tokens are created only by marking
+   (which increments some ``CI``) and destroyed only by unmarking (which
+   decrements a ``CH`` or, for the reclaim extension, a ``CI``), so::
+
+       blacks_on_buffers + blacks_in_debt
+           == (ML - 1) + sum(CI) + sum(CH of open contexts)
+
+Additionally the scheme's purpose — Theorem 1 — demands that a marked
+(black or gray) worm-bubble *entitlement* always survives in each ring;
+between flit moves the marked buffer may be transiting as debt, so the
+checkable form counts tokens rather than empty buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..network.network import Network
+from .colors import WBColor
+from .state import RingContext
+from .wbfc import WormBubbleFlowControl
+
+__all__ = ["RingLedger", "ring_ledger", "check_invariants", "InvariantViolation"]
+
+
+class InvariantViolation(AssertionError):
+    """A WBFC conservation law was broken."""
+
+
+@dataclass
+class RingLedger:
+    """Token census of one ring at one instant."""
+
+    ring_id: str
+    whites: int
+    blacks_on_buffers: int
+    grays_on_buffers: int
+    blacks_in_debt: int
+    grays_in_debt: int
+    grays_held: int
+    ci_total: int
+    ch_total: int
+    occupied_buffers: int
+    ml: int
+
+    @property
+    def gray_count(self) -> int:
+        return self.grays_on_buffers + self.grays_in_debt + self.grays_held
+
+    @property
+    def black_count(self) -> int:
+        return self.blacks_on_buffers + self.blacks_in_debt
+
+    @property
+    def expected_blacks(self) -> int:
+        return (self.ml - 1) + self.ci_total + self.ch_total
+
+
+def _contexts_of_ring(network: Network, fc: WormBubbleFlowControl, ring_id: str) -> list[RingContext]:
+    seen: dict[int, RingContext] = {}
+    for ivc in fc.ring_buffers[ring_id]:
+        ctx = ivc.occupant_ctx
+        if ctx is not None:
+            seen[id(ctx)] = ctx
+    return list(seen.values())
+
+
+def ring_ledger(network: Network, ring_id: str) -> RingLedger:
+    """Census the color tokens of one ring."""
+    fc = network.flow_control
+    if not isinstance(fc, WormBubbleFlowControl):
+        raise TypeError("ring_ledger requires a WBFC-controlled network")
+    whites = blacks = grays = occupied = 0
+    for ivc in fc.ring_buffers[ring_id]:
+        if ivc.is_worm_bubble:
+            if ivc.color is WBColor.WHITE:
+                whites += 1
+            elif ivc.color is WBColor.BLACK:
+                blacks += 1
+            else:
+                grays += 1
+        elif ivc.flits or ivc.owner is not None:
+            occupied += 1
+    blacks_debt = grays_debt = grays_held = ch_total = 0
+    for ctx in _contexts_of_ring(network, fc, ring_id):
+        blacks_debt += sum(1 for c in ctx.color_debt if c is WBColor.BLACK)
+        grays_debt += sum(1 for c in ctx.color_debt if c is WBColor.GRAY)
+        grays_held += 1 if ctx.holds_gray else 0
+        if not ctx.closed:
+            ch_total += ctx.ch
+    ci_total = sum(
+        v for (node, rid), v in fc.ci.items() if rid == ring_id
+    )
+    return RingLedger(
+        ring_id=ring_id,
+        whites=whites,
+        blacks_on_buffers=blacks,
+        grays_on_buffers=grays,
+        blacks_in_debt=blacks_debt,
+        grays_in_debt=grays_debt,
+        grays_held=grays_held,
+        ci_total=ci_total,
+        ch_total=ch_total,
+        occupied_buffers=occupied,
+        ml=fc.ml[ring_id],
+    )
+
+
+def check_invariants(network: Network) -> None:
+    """Raise :class:`InvariantViolation` if any conservation law fails."""
+    fc = network.flow_control
+    if not isinstance(fc, WormBubbleFlowControl):
+        raise TypeError("check_invariants requires a WBFC-controlled network")
+    problems = []
+    for ring_id in fc.ring_buffers:
+        ledger = ring_ledger(network, ring_id)
+        if ledger.gray_count != 1:
+            problems.append(
+                f"ring {ring_id}: gray count {ledger.gray_count} != 1 ({ledger})"
+            )
+        if ledger.black_count != ledger.expected_blacks:
+            problems.append(
+                f"ring {ring_id}: blacks {ledger.black_count} != "
+                f"(ML-1) + CI + CH = {ledger.expected_blacks} ({ledger})"
+            )
+        if ledger.black_count + 1 < ledger.ml:
+            problems.append(
+                f"ring {ring_id}: marked entitlement "
+                f"{ledger.black_count + 1} dropped below ML = {ledger.ml}"
+            )
+    if problems:
+        raise InvariantViolation("; ".join(problems))

@@ -1,0 +1,82 @@
+"""Per-packet, per-ring flow-control context.
+
+A wormhole packet can straddle two rings at once: its head already injected
+into ring B while its tail still drains buffers of ring A.  All state that
+must outlive the head's departure — the displaced-color debt, the held gray
+token, the count of still-occupied ring buffers — therefore lives in a
+:class:`RingContext` attached to each *buffer* the packet occupies, not in a
+single per-packet record.
+
+Lifecycle::
+
+    injection grant  -> RingContext created, packet.current_ctx = ctx
+    VA grant of a ring buffer -> ctx.occupied += 1, buffer.occupant_ctx = ctx
+    head leaves ring -> ctx.closed = True (CH folded into the local CI)
+    tail vacates a buffer -> ctx.occupied -= 1, color debt / gray dropped
+    occupied == 0 and closed -> context is dead
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .colors import WBColor
+
+__all__ = ["RingContext"]
+
+
+@dataclass
+class RingContext:
+    """Flow-control state of one packet's ride through one ring."""
+
+    ring_id: str
+    #: The paper's head-flit counter CH: black worm-bubbles this packet may
+    #: still unmark (its outstanding reservations).
+    ch: int = 0
+    #: True while this packet holds the ring's gray starvation token.
+    holds_gray: bool = False
+    #: True when the gray was granted at *injection* (Lemma 1 case (ii)):
+    #: the admission check guaranteed ML black WBs, entitling the holder to
+    #: ride through up to Mp-1 of them.  A gray merely grabbed in transit
+    #: carries no such entitlement.
+    gray_entitled: bool = False
+    #: Colors displaced backward by in-transit moves, to be dropped onto the
+    #: next buffers the packet's tail vacates.
+    color_debt: list[WBColor] = field(default_factory=list)
+    #: Ring buffers currently allocated to this packet.
+    occupied: int = 0
+    #: Flits of this packet that have physically arrived in ring buffers;
+    #: once it reaches the packet length the worm is fully inside the ring
+    #: and consuming a marked worm-bubble is guaranteed to self-heal (its
+    #: rearmost buffer drains, re-hosting the displaced color).
+    flits_entered: int = 0
+    #: True once the head has left the ring (ejected, changed dimension, or
+    #: moved to an adaptive VC); CH has been folded into the local CI.
+    closed: bool = False
+    #: Dateline: True while the packet rides the high VC class in this ring.
+    dl_high: bool = False
+
+    @property
+    def is_dead(self) -> bool:
+        """True when the packet has fully left the ring."""
+        return self.closed and self.occupied == 0
+
+    def settle_vacated_color(self) -> WBColor:
+        """Color to paint onto a buffer this packet's tail just vacated.
+
+        Drops one unit of displaced-color debt if any; otherwise, on the
+        final vacated buffer, returns the held gray token to the ring;
+        otherwise the buffer reverts to an ordinary white worm-bubble.
+        """
+        if self.occupied == 0 and self.closed:
+            if self.color_debt and self.holds_gray:
+                raise RuntimeError(
+                    f"ring {self.ring_id}: color debt and gray token both "
+                    "pending at the final vacated buffer; a color would leak"
+                )
+            if self.holds_gray:
+                self.holds_gray = False
+                return WBColor.GRAY
+        if self.color_debt:
+            return self.color_debt.pop()
+        return WBColor.WHITE

@@ -1,0 +1,439 @@
+"""Worm-Bubble Flow Control (WBFC) — the paper's core contribution.
+
+WBFC makes wormhole-switched rings deadlock-free with **one escape VC** and
+buffers as small as one flit, by managing empty escape buffers
+(*worm-bubbles*, WBs) as colored tokens:
+
+- Every ring starts with one **gray** WB and ``ML - 1`` **black** WBs,
+  where ``ML = ceil(longest_packet / buffer_depth)`` (Definition 3).
+- An injecting packet with ``Mp > 1`` repeatedly *marks* the white WB in
+  its downstream receiving buffer black, counting marks in the shared
+  per-injection-channel counter ``CI``; once ``CI >= Mp - 1`` and a white
+  WB reappears, it injects (Equation 6, first clause).
+- A packet with ``CI > 0`` that sees the **gray** WB may inject
+  immediately (Equation 6, second clause) — the gray token breaks the
+  simultaneous-injection starvation case of Figure 8.
+- Short packets (``Mp = 1``) inject into any non-black WB (Equation 5).
+- At injection, ``CI`` is copied into the head-flit counter ``CH`` and
+  cleared; in transit the packet *unmarks* black WBs it enters while
+  ``CH > 0``; leftover ``CH`` folds back into the destination's ``CI`` at
+  ejection or dimension change (Steps 3-4, Section 3.2.1).
+- In-transit packets may enter any empty buffer (Equation 4); entering a
+  black/gray WB without unmarking *displaces* the color backward: the
+  packet carries a color debt dropped onto the next buffer its tail
+  vacates — the simulation analogue of the wbt_a/wbt_b transfer wires.
+- Idle black WBs are proactively displaced backward past white/gray WBs
+  each cycle, which also circulates the gray token forward (Section 3.6).
+
+Interpretation notes (where the paper under-specifies):
+
+- Equation (5) literally lets short packets take the gray WB.  When
+  ``ML == 1`` that would consume the only token (Lemma 1 case (i) assumes
+  it cannot), so we allow gray for ``Mp == 1`` only when ``ML > 1``.
+- Proactive displacement is performed unconditionally on idle buffers
+  (the paper conditions it on a waiting packet purely to save signaling).
+- **CI reclaim** (liveness fix): Step 4's banking of leftover ``CH`` into
+  the destination's ``CI`` can strand reservations at nodes where no
+  packet ever injects, leaving a ring with zero white WBs and a starving
+  ``CI = 0`` injector elsewhere.  We therefore run the exact inverse of
+  marking: a node whose injection channel holds banked ``CI > 0`` with no
+  local injector waiting unmarks a black WB in its downstream receiving
+  channel (black -> white, ``CI -= 1``).  Like marking, this uses only
+  local information, and it preserves the per-ring conservation law
+  ``blacks == (ML - 1) + sum(CI) + sum(CH)``, so Lemma 1 is untouched.
+  Disable with ``reclaim_banked_ci=False`` to observe the stranding.
+- **Black re-entry** (liveness/performance extension): a long packet's own
+  mark sits in its downstream receiving channel, and without passing
+  traffic it can only leave via a backward displacement that needs a white
+  upstream — the injector can poison its own watch position.  We allow a
+  packet with ``CI >= max(Mp - 1, 1)`` to inject directly into a *black*
+  WB, unmarking it as it enters (``CH = CI - 1``), provided ``CI >= Mp``
+  so the remaining ``CH = Mp - 1`` still covers the blacks it may need to
+  unmark while its tail enters.  By the same counting as Lemma 1 case
+  (iii) the packet consumes only reservation-backed blacks, so the
+  initial ``ML - 1`` blacks and the gray token survive and the ring keeps
+  a marked WB.  Disable with ``black_reentry=False``.
+- **Marked-WB passage** (safety-critical clarification): Equation (4)
+  read literally lets an in-transit worm *longer than one buffer* consume
+  a marked WB; its "backward transfer" then targets a buffer that never
+  empties (the worm's own tail occupies it), the marked empty bubble is
+  destroyed, and the ring can fill completely and deadlock — we reproduce
+  this wedge in the test suite.  The paper's wbt_a/wbt_b handshake only
+  completes when a free WB exists upstream, so we implement the rule it
+  implies: an in-transit head may enter a marked WB only when it unmarks
+  it (``CH > 0``, black) or when the worm is *fully inside the ring* —
+  then entering the bubble lets exactly ``cap`` flit-shifts cascade down
+  the worm, its rearmost buffer provably drains, and the displaced color
+  re-appears on that emptied buffer (the CBS transfer, one worm-length
+  later).  A freshly injected long worm is covered too: it carries
+  ``CH = Mp - 1 >= 1`` and pays its way through blacks by unmarking until
+  its tail has entered.  Blocked worms facing an immovable mark are
+  additionally rescued by demand-driven *forward* displacement past a
+  white ahead, and idle banked ``CI`` rights drift upstream one node at a
+  time until they meet a black to reclaim — both implementable with the
+  same neighbour wiring as wbt.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..flowcontrol.base import FlowControl
+from ..network.buffers import InputVC, OutputVC
+from ..network.flit import Packet
+from .colors import WBColor
+from .state import RingContext
+
+__all__ = ["WormBubbleFlowControl"]
+
+
+class WormBubbleFlowControl(FlowControl):
+    """Worm-bubble flow control over every ring of the attached topology."""
+
+    name = "wbfc"
+    required_escape_vcs = 1
+
+    def __init__(
+        self,
+        *,
+        reclaim_banked_ci: bool = True,
+        reclaim_patience: int = 2,
+        black_reentry: bool = True,
+    ) -> None:
+        super().__init__()
+        #: Liveness fix: recycle banked CI at idle injection channels.
+        self.reclaim_banked_ci = reclaim_banked_ci
+        #: Performance extension: CI-backed injection into a black WB.
+        self.black_reentry = black_reentry
+        #: Idle cycles before a banked CI is reclaimed.
+        self.reclaim_patience = reclaim_patience
+        #: Injection counter CI per injection channel: (node, ring_id) -> int.
+        self.ci: dict[tuple[int, str], int] = {}
+        #: Last cycle an injection was attempted per channel (reclaim gate).
+        self._last_request: dict[tuple[int, str], int] = {}
+        #: Downstream receiving buffer of each injection channel.
+        self._downstream_of: dict[tuple[int, str], object] = {}
+        #: Sticky marker ownership per injection channel: key -> packet id.
+        self.marker_owner: dict[tuple[int, str], int] = {}
+        #: Reverse map: packet id -> injection-channel keys it owns.
+        self._owned_keys: dict[int, tuple[int, str]] = {}
+        #: ML (Definition 3, for the longest packet) per ring.
+        self.ml: dict[str, int] = {}
+        #: Counters for reports/tests.
+        self.stats = {
+            "marks": 0,
+            "unmarks": 0,
+            "gray_grabs": 0,
+            "displacements": 0,
+            "reclaims": 0,
+            "black_reentries": 0,
+            "forward_displacements": 0,
+            "ci_drifts": 0,
+            "transit_gray_grabs": 0,
+        }
+
+    # -- setup ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        super().validate()
+        assert self.network is not None
+        cfg = self.network.config
+        ml = math.ceil(cfg.max_packet_length / cfg.buffer_depth)
+        for ring in self.rings.values():
+            if len(ring) < max(ml + 1, 2):
+                raise ValueError(
+                    f"ring {ring.ring_id} has {len(ring)} buffers but WBFC "
+                    f"needs at least ML+1 = {ml + 1} (ML={ml}) to mark one "
+                    "gray and ML-1 black WBs and still admit an injection; "
+                    "use larger rings or deeper buffers"
+                )
+
+    def initialize_state(self) -> None:
+        assert self.network is not None
+        cfg = self.network.config
+        ml = math.ceil(cfg.max_packet_length / cfg.buffer_depth)
+        for ring_id, buffers in self.ring_buffers.items():
+            self.ml[ring_id] = ml
+            buffers[0].color = WBColor.GRAY
+            for ivc in buffers[1:ml]:
+                ivc.color = WBColor.BLACK
+            k = len(buffers)
+            for pos, hop in enumerate(self.rings[ring_id].hops):
+                self.ci[(hop.node, ring_id)] = 0
+                self._downstream_of[(hop.node, ring_id)] = buffers[(pos + 1) % k]
+
+    # -- Definition 3 ----------------------------------------------------------
+
+    @staticmethod
+    def m_value(length: int, wb_capacity: int) -> int:
+        """Minimal number of worm-bubbles needed to receive a packet."""
+        return math.ceil(length / wb_capacity)
+
+    # -- injection rules (Section 3.3) -----------------------------------------
+
+    def escape_vc_choices(
+        self, packet: Packet, node: int, out_port: int, in_ring: bool
+    ) -> tuple[int, ...]:
+        return (0,)
+
+    def allow_escape(
+        self,
+        packet: Packet,
+        node: int,
+        out_port: int,
+        ovc: OutputVC,
+        in_ring: bool,
+        cycle: int,
+    ) -> bool:
+        ivc = ovc.downstream
+        ring_id = ivc.ring_id
+        if ring_id is None:
+            # Escape hop outside any ring (e.g. mesh): no restriction.
+            return True
+        if in_ring:
+            # Equation (4): a same-ring move needs the empty buffer the
+            # caller already verified — plus the marked-WB passage rule
+            # (see module notes): a marked bubble may be consumed only when
+            # the packet unmarks it (CH > 0, black) or when the worm is
+            # fully inside the ring, which guarantees its rearmost buffer
+            # drains and re-hosts the displaced color (the CBS transfer).
+            color = ivc.color
+            if color is WBColor.WHITE:
+                return True
+            ctx = packet.current_ctx
+            if ctx is None:
+                return False
+            if color is WBColor.GRAY:
+                # In-transit gray grab: the head takes the token along and
+                # the ring gets it back when the worm leaves (conserved);
+                # unlike an injection grab this conveys no entitlement.
+                return True
+            if ctx.ch > 0:
+                return True
+            if ctx.gray_entitled:
+                # Lemma 1 case (ii): the gray admission guaranteed ML black
+                # WBs in the ring, entitling the holder to ride through up
+                # to Mp-1 of them; we displace them as debt so the ring's
+                # token census is conserved.
+                return True
+            # Self-healing passage: a worm that fits one buffer, or whose
+            # tail has fully entered the ring, provably drains its rearmost
+            # buffer after this move, re-hosting the displaced color there.
+            return (
+                packet.length <= ivc.capacity
+                or ctx.flits_entered >= packet.length
+            )
+        key = (node, ring_id)
+        self._last_request[key] = cycle
+        mp = self.m_value(packet.length, ivc.capacity)
+        color = ivc.color
+        if mp == 1:
+            # Equation (5): any non-black WB (gray excluded when ML == 1,
+            # where gray is the ring's only token — see module notes).
+            # Short packets never touch the shared counter, so a long
+            # packet's marker ownership does not gate them.
+            if color is WBColor.WHITE:
+                return True
+            return color is WBColor.GRAY and self.ml[ring_id] > 1
+        owner = self.marker_owner.get(key)
+        if owner is not None and owner != packet.pid:
+            # Another injector mid-reservation holds the shared counter.
+            return False
+        ci = self.ci[key]
+        if color is WBColor.WHITE:
+            if ci >= mp - 1:
+                return True
+            # Step 2: reserve — mark the white WB black, claim the counter.
+            ivc.color = WBColor.BLACK
+            self.ci[key] = ci + 1
+            self.marker_owner[key] = packet.pid
+            self._owned_keys[packet.pid] = key
+            self.stats["marks"] += 1
+            return False
+        if color is WBColor.GRAY and ci > 0:
+            # Equation (6), gray clause: the starvation token admits a
+            # partially-reserved packet immediately.
+            return True
+        if self.black_reentry and color is WBColor.BLACK and ci >= mp:
+            # Black re-entry extension (see module notes): spend one owned
+            # reservation to unmark-and-enter the black WB directly.  The
+            # threshold is Mp (not Mp-1): after burning one right the head
+            # still carries CH = Mp-1, enough to unmark its way past blacks
+            # until its tail has fully entered the ring.
+            return True
+        return False
+
+    # -- event notifications -----------------------------------------------------
+
+    def on_acquire(self, packet: Packet, ivc: InputVC, in_ring: bool, node: int, cycle: int) -> None:
+        if ivc.ring_id is None:
+            return
+        if in_ring:
+            ctx = packet.current_ctx
+            if ctx is None or ctx.ring_id != ivc.ring_id:
+                raise RuntimeError(
+                    f"packet {packet.pid} made an in-ring move without a "
+                    f"matching ring context at {ivc.label()}"
+                )
+            # Equation (4) entry: unmark a black WB if reservations remain
+            # (Step 3), otherwise displace the color backward as debt —
+            # permitted only for single-buffer packets (allow_escape
+            # enforced it), whose tail frees the upstream buffer promptly.
+            if ivc.color is WBColor.BLACK:
+                if ctx.ch > 0:
+                    ctx.ch -= 1
+                    self.stats["unmarks"] += 1
+                else:
+                    ctx.color_debt.append(WBColor.BLACK)
+            elif ivc.color is WBColor.GRAY:
+                if (
+                    packet.length <= ivc.capacity
+                    or ctx.flits_entered >= packet.length
+                ):
+                    # Self-healing worm: displace the gray backward as
+                    # debt; the token stays an *empty* bubble one
+                    # worm-length later (essential when ML == 1 and the
+                    # gray is the ring's only marked bubble).
+                    ctx.color_debt.append(WBColor.GRAY)
+                else:
+                    if ctx.holds_gray:
+                        raise RuntimeError("a ring cannot hold two gray tokens")
+                    ctx.holds_gray = True
+                    self.stats["transit_gray_grabs"] += 1
+        else:
+            # Injection (Step 2 completing): open a fresh ring context and
+            # move the shared counter into the head flit (CI -> CH).
+            key = (node, ivc.ring_id)
+            ctx = RingContext(ring_id=ivc.ring_id)
+            ctx.ch = self.ci[key]
+            self.ci[key] = 0
+            if ivc.color is WBColor.BLACK:
+                if not (self.black_reentry and ctx.ch >= 1):
+                    raise RuntimeError("injection granted into a black worm-bubble")
+                # Unmark-and-enter: one reservation pays for the black WB.
+                ctx.ch -= 1
+                self.stats["unmarks"] += 1
+                self.stats["black_reentries"] += 1
+            if ivc.color is WBColor.GRAY:
+                ctx.holds_gray = True
+                ctx.gray_entitled = True
+                self.stats["gray_grabs"] += 1
+            packet.current_ctx = ctx
+        ctx.occupied += 1
+        ivc.occupant_ctx = ctx
+        ivc.color = WBColor.WHITE  # parked while occupied
+
+    def on_leave_ring(self, packet: Packet, node: int, cycle: int) -> None:
+        ctx: RingContext | None = packet.current_ctx
+        if ctx is None:
+            return
+        # Step 4: fold the leftover CH into the local injection channel of
+        # the ring being left, conserving the global reservation count.
+        key = (node, ctx.ring_id)
+        if ctx.ch:
+            self.ci[key] = self.ci.get(key, 0) + ctx.ch
+            ctx.ch = 0
+        ctx.closed = True
+        packet.current_ctx = None
+
+    def on_vacate(self, ivc: InputVC) -> None:
+        ctx: RingContext | None = ivc.occupant_ctx
+        if ctx is None:
+            return
+        ctx.occupied -= 1
+        ivc.color = ctx.settle_vacated_color()
+        ivc.occupant_ctx = None
+
+    def on_grant(self, packet: Packet, node: int, cycle: int) -> None:
+        key = self._owned_keys.pop(packet.pid, None)
+        if key is not None and self.marker_owner.get(key) == packet.pid:
+            del self.marker_owner[key]
+
+    def on_slot_filled(self, ivc: InputVC, flit) -> None:
+        """Track how much of the worm has entered the ring.
+
+        Flits are delivered in order, so seeing flit index ``i`` anywhere in
+        the ring means flits ``0..i`` are all inside.
+        """
+        ctx = ivc.occupant_ctx
+        if ctx is not None and ivc.owner is flit.packet:
+            ctx.flits_entered = max(ctx.flits_entered, flit.index + 1)
+
+    # -- proactive displacement (Section 3.6 wbt handshake) ------------------------
+
+    def pre_cycle(self, cycle: int) -> None:
+        if self.reclaim_banked_ci:
+            self._reclaim(cycle)
+        for buffers in self.ring_buffers.values():
+            k = len(buffers)
+            moved: set[int] = set()
+            for i in range(k):
+                j = (i + 1) % k
+                if i in moved or j in moved:
+                    continue
+                down, up = buffers[j], buffers[i]
+                if (
+                    down.is_worm_bubble
+                    and down.color is WBColor.BLACK
+                    and up.is_worm_bubble
+                    and up.color in (WBColor.WHITE, WBColor.GRAY)
+                ):
+                    # Backward transfer: black drifts toward the injector
+                    # that marked it, releasing its watch position.
+                    down.color, up.color = up.color, WBColor.BLACK
+                    moved.add(i)
+                    moved.add(j)
+                    self.stats["displacements"] += 1
+            for i in range(k):
+                j = (i + 1) % k
+                if i in moved or j in moved:
+                    continue
+                here, ahead = buffers[i], buffers[j]
+                if (
+                    here.is_worm_bubble
+                    and here.color in (WBColor.BLACK, WBColor.GRAY)
+                    and ahead.is_worm_bubble
+                    and ahead.color is WBColor.WHITE
+                    and not buffers[(i - 1) % k].is_worm_bubble
+                ):
+                    # Forward transfer (demand-driven): a worm too long to
+                    # consume the marked bubble is blocked right behind it;
+                    # swap the mark with the white ahead so the worm can
+                    # advance into a plain bubble.
+                    here.color, ahead.color = WBColor.WHITE, here.color
+                    moved.add(i)
+                    moved.add(j)
+                    self.stats["forward_displacements"] += 1
+
+    def _reclaim(self, cycle: int) -> None:
+        """Recycle banked CI at idle injection channels (see module notes).
+
+        A banked right whose local watch buffer holds an (unowned, empty)
+        black WB unmarks it.  A right that cannot be applied locally —
+        the watch is occupied or holds the gray — *drifts* one node
+        upstream along the ring instead, so it eventually meets a black WB
+        somewhere; rights are fungible, the per-ring sum is unchanged, and
+        only neighbouring-router wiring (as for wbt) is needed.
+        """
+        drifts: list[tuple[tuple[int, str], tuple[int, str]]] = []
+        for key, ci in self.ci.items():
+            if ci <= 0 or key in self.marker_owner:
+                continue
+            if cycle - self._last_request.get(key, -(10**9)) <= self.reclaim_patience:
+                continue
+            ivc = self._downstream_of[key]
+            if ivc.is_worm_bubble and ivc.color is WBColor.BLACK:  # type: ignore[attr-defined]
+                ivc.color = WBColor.WHITE  # type: ignore[attr-defined]
+                self.ci[key] = ci - 1
+                self.stats["reclaims"] += 1
+            elif cycle - self._last_request.get(key, -(10**9)) > 4 * self.reclaim_patience + 2:
+                node, ring_id = key
+                ring = self.rings[ring_id]
+                pos = self.ring_position[(ring_id, node)]
+                prev_node = ring.hops[(pos - 1) % len(ring)].node
+                drifts.append((key, (prev_node, ring_id)))
+        for src_key, dst_key in drifts:
+            if self.ci[src_key] > 0:
+                self.ci[src_key] -= 1
+                self.ci[dst_key] = self.ci.get(dst_key, 0) + 1
+                self.stats["ci_drifts"] += 1

@@ -1,0 +1,5 @@
+"""Experiment harnesses: the five designs and one module per paper figure."""
+
+from .designs import DESIGNS, PAPER_DESIGNS, Design, build_network
+
+__all__ = ["DESIGNS", "PAPER_DESIGNS", "Design", "build_network"]

@@ -1,0 +1,94 @@
+"""The five compared designs (Section 4).
+
+=========  ==========  ============  ==================
+Design     escape VCs  adaptive VCs  routing
+=========  ==========  ============  ==================
+WBFC-1VC   1 (WBFC)    0             DOR
+DL-2VC     2 (Dateline)0             DOR
+WBFC-2VC   1 (WBFC)    1             Duato minimal adaptive
+DL-3VC     2 (Dateline)1             Duato minimal adaptive
+WBFC-3VC   1 (WBFC)    2             Duato minimal adaptive
+=========  ==========  ============  ==================
+
+``build_network`` assembles a ready-to-run :class:`Network` for a design
+on a given topology, so every figure harness and test builds its systems
+the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.wbfc import WormBubbleFlowControl
+from ..flowcontrol.base import FlowControl
+from ..flowcontrol.dateline import DatelineFlowControl
+from ..flowcontrol.unrestricted import UnrestrictedFlowControl
+from ..network.network import Network
+from ..routing.dor import DimensionOrderRouting
+from ..routing.duato import DuatoAdaptiveRouting
+from ..sim.config import SimulationConfig
+from ..topology.base import Topology
+
+__all__ = ["Design", "DESIGNS", "PAPER_DESIGNS", "build_network"]
+
+
+@dataclass(frozen=True)
+class Design:
+    """A named (VC count, flow control, routing) configuration."""
+
+    name: str
+    num_vcs: int
+    num_escape_vcs: int
+    flow_control: str  # "wbfc" | "dateline" | "unrestricted"
+    adaptive: bool
+
+    @property
+    def num_adaptive_vcs(self) -> int:
+        return self.num_vcs - self.num_escape_vcs
+
+
+DESIGNS: dict[str, Design] = {
+    "WBFC-1VC": Design("WBFC-1VC", 1, 1, "wbfc", False),
+    "DL-2VC": Design("DL-2VC", 2, 2, "dateline", False),
+    "WBFC-2VC": Design("WBFC-2VC", 2, 1, "wbfc", True),
+    "DL-3VC": Design("DL-3VC", 3, 2, "dateline", True),
+    "WBFC-3VC": Design("WBFC-3VC", 3, 1, "wbfc", True),
+    # Negative control: no in-ring deadlock avoidance at all.
+    "UNRESTRICTED-1VC": Design("UNRESTRICTED-1VC", 1, 1, "unrestricted", False),
+}
+
+#: The five designs every paper figure compares, in the paper's order.
+PAPER_DESIGNS: tuple[str, ...] = (
+    "WBFC-1VC",
+    "DL-2VC",
+    "WBFC-2VC",
+    "DL-3VC",
+    "WBFC-3VC",
+)
+
+_FLOW_CONTROLS: dict[str, type[FlowControl]] = {
+    "wbfc": WormBubbleFlowControl,
+    "dateline": DatelineFlowControl,
+    "unrestricted": UnrestrictedFlowControl,
+}
+
+
+def build_network(
+    design: Design | str,
+    topology: Topology,
+    config: SimulationConfig | None = None,
+) -> Network:
+    """Assemble a network for ``design``; ``config`` supplies shared knobs.
+
+    The design's VC structure overrides whatever ``config`` carries, so a
+    single base configuration (buffer depth, seed, ...) can be reused across
+    all five designs.
+    """
+    if isinstance(design, str):
+        design = DESIGNS[design]
+    base = config if config is not None else SimulationConfig()
+    cfg = replace(base, num_vcs=design.num_vcs, num_escape_vcs=design.num_escape_vcs)
+    routing_cls = DuatoAdaptiveRouting if design.adaptive else DimensionOrderRouting
+    routing = routing_cls(topology)  # type: ignore[arg-type]
+    flow_control = _FLOW_CONTROLS[design.flow_control]()
+    return Network(topology, routing, flow_control, cfg)

@@ -1,0 +1,178 @@
+"""Section 6 applications and extensions.
+
+Three demonstrations beyond the torus evaluation:
+
+1. **WBFC on general ring topologies** — a standalone unidirectional ring
+   and a two-level hierarchical ring both run deadlock-free under WBFC
+   with one VC (the Rotary-router / hierarchical-ring application).
+2. **Case (c)** — non-atomic wormhole with big buffers, using CBS with a
+   flit-sized critical bubble.
+3. **Case (d)** — non-atomic wormhole with small buffers, using the
+   flit-level WBFC re-definition (``Mp = L(p)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.flit_level import FlitLevelWBFC
+from ..core.wbfc import WormBubbleFlowControl
+from ..flowcontrol.cbs import CriticalBubbleScheme
+from ..metrics.stats import MetricsCollector
+from ..network.network import Network
+from ..network.switching import Switching
+from ..routing.dor import DimensionOrderRouting
+from ..routing.ring_routing import HierarchicalRingRouting, RingRouting
+from ..sim.config import SimulationConfig
+from ..sim.deadlock import Watchdog
+from ..sim.engine import Simulator
+from ..topology.hierarchical_ring import HierarchicalRing
+from ..topology.ring import UnidirectionalRing
+from ..topology.torus import Torus
+from ..traffic.generator import SyntheticTraffic
+from ..traffic.patterns import UniformRandom
+from .runner import Scale, current_scale, format_table
+
+__all__ = ["ExtensionResult", "run_extensions", "render_extensions"]
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    name: str
+    topology: str
+    switching: str
+    avg_latency: float
+    throughput: float
+    packets: int
+    deadlock_free: bool
+
+
+def _measure(network: Network, rate: float, scale: Scale, seed: int) -> tuple[float, float, int, bool]:
+    workload = SyntheticTraffic(UniformRandom(network.topology), rate, seed=seed)
+    collector = MetricsCollector(network)
+    watchdog = Watchdog(network, deadlock_window=10_000, raise_on_deadlock=False)
+    simulator = Simulator(network, workload, watchdog=watchdog)
+    simulator.run(scale.warmup)
+    collector.begin(simulator.cycle)
+    simulator.run(scale.measure)
+    collector.end(simulator.cycle)
+    s = collector.summary()
+    return s.avg_latency, s.throughput, s.packets, not watchdog.deadlocked
+
+
+def _measure_bridged(
+    network: Network, packet_rate: float, scale: Scale, seed: int
+) -> tuple[float, float, int, bool]:
+    """Drive a hierarchical ring through hub bridges (see network.bridges)."""
+    from ..network.bridges import HierarchicalBridges
+    from ..sim.rng import make_rng
+
+    bridges = HierarchicalBridges(network)
+    topo = network.topology
+    rng = make_rng(seed)
+
+    class BridgedTraffic:
+        def step(self, cycle: int, net: Network) -> None:
+            for src in range(topo.num_nodes):
+                if rng.random() < packet_rate:
+                    dst = int(rng.integers(0, topo.num_nodes - 1))
+                    if dst >= src:
+                        dst += 1
+                    bridges.send(src, dst, 5 if rng.random() < 0.5 else 1, cycle)
+
+    watchdog = Watchdog(network, deadlock_window=10_000, raise_on_deadlock=False)
+    simulator = Simulator(network, BridgedTraffic(), watchdog=watchdog)
+    start = scale.warmup
+    simulator.run(scale.warmup + scale.measure)
+    window = [j for j in bridges.delivered if j.created_cycle >= start]
+    lat = (
+        sum(j.latency for j in window) / len(window) if window else float("inf")
+    )
+    flits = sum(j.length for j in window)
+    thr = flits / (topo.num_nodes * scale.measure)
+    return lat, thr, len(window), not watchdog.deadlocked
+
+
+def run_extensions(
+    *, rate: float = 0.10, scale: Scale | None = None, seed: int = 3
+) -> list[ExtensionResult]:
+    scale = scale or current_scale()
+    results = []
+
+    ring = UnidirectionalRing(8)
+    net = Network(
+        ring,
+        RingRouting(ring),
+        WormBubbleFlowControl(),
+        SimulationConfig(num_vcs=1),
+    )
+    lat, thr, pkts, ok = _measure(net, rate / 2, scale, seed)
+    results.append(
+        ExtensionResult("WBFC ring", "8-node uni ring", "wormhole-atomic", lat, thr, pkts, ok)
+    )
+
+    hier = HierarchicalRing(4, 4)
+    net = Network(
+        hier,
+        HierarchicalRingRouting(hier),
+        WormBubbleFlowControl(),
+        SimulationConfig(num_vcs=1),
+    )
+    lat, thr, pkts, ok = _measure_bridged(net, rate / 4, scale, seed)
+    results.append(
+        ExtensionResult(
+            "WBFC hierarchical",
+            "4x4 hier. rings (hub bridges)",
+            "wormhole-atomic",
+            lat,
+            thr,
+            pkts,
+            ok,
+        )
+    )
+
+    torus = Torus((4, 4))
+    net = Network(
+        torus,
+        DimensionOrderRouting(torus),
+        CriticalBubbleScheme(bubble_flits=1),
+        SimulationConfig(num_vcs=1, buffer_depth=8, switching=Switching.WORMHOLE_NONATOMIC),
+    )
+    lat, thr, pkts, ok = _measure(net, rate, scale, seed)
+    results.append(
+        ExtensionResult("CBS case (c)", "4x4 torus", "wormhole-nonatomic 8F", lat, thr, pkts, ok)
+    )
+
+    net = Network(
+        torus := Torus((4, 4)),
+        DimensionOrderRouting(torus),
+        FlitLevelWBFC(),
+        SimulationConfig(num_vcs=1, buffer_depth=3, switching=Switching.WORMHOLE_NONATOMIC),
+    )
+    lat, thr, pkts, ok = _measure(net, rate / 2, scale, seed)
+    results.append(
+        ExtensionResult(
+            "WBFC case (d)", "4x4 torus", "wormhole-nonatomic 3F", lat, thr, pkts, ok
+        )
+    )
+    return results
+
+
+def render_extensions(results: list[ExtensionResult]) -> str:
+    rows = [
+        [
+            r.name,
+            r.topology,
+            r.switching,
+            f"{r.avg_latency:.1f}",
+            f"{r.throughput:.3f}",
+            r.packets,
+            "yes" if r.deadlock_free else "NO",
+        ]
+        for r in results
+    ]
+    return format_table(
+        ["extension", "topology", "switching", "latency", "throughput", "packets", "deadlock-free"],
+        rows,
+        "Section 6 extensions",
+    )

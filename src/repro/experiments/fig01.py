@@ -1,0 +1,120 @@
+"""Figure 1: router area and power breakdown for 3/2/1 VCs.
+
+Reports, per VC count, the area of buffers / crossbar / control logic and
+the static-power components plus a dynamic estimate at a representative
+uniform-random load, mirroring the stacked bars of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..power import technology as tech
+from ..power.orion import RouterParams, router_area, router_static_power
+from .runner import format_table
+
+__all__ = ["Fig1Row", "figure1_rows", "render_figure1"]
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    num_vcs: int
+    buffer_area_um2: float
+    xbar_area_um2: float
+    ctrl_area_um2: float
+    buffer_static_w: float
+    ctrl_static_w: float
+    xbar_static_w: float
+    dynamic_w: float
+
+    @property
+    def total_area(self) -> float:
+        return self.buffer_area_um2 + self.xbar_area_um2 + self.ctrl_area_um2
+
+    @property
+    def total_power(self) -> float:
+        return (
+            self.buffer_static_w + self.ctrl_static_w + self.xbar_static_w + self.dynamic_w
+        )
+
+
+def _representative_dynamic_w(num_vcs: int) -> float:
+    """Dynamic power at the Figure-1 operating point.
+
+    Scales a nominal per-node flit rate (~0.15 flits/node/cycle accepted,
+    the paper's full-system average) into event counts per cycle and
+    converts to watts at 2 GHz; richer designs move slightly more traffic.
+    """
+    flit_rate = 0.15 * (0.9 + 0.05 * num_vcs)
+    avg_hops = 2.3
+    events_per_cycle = {
+        "buffer_writes": flit_rate * avg_hops,
+        "buffer_reads": flit_rate * avg_hops,
+        "xbar_traversals": flit_rate * avg_hops,
+        "link_traversals": flit_rate * (avg_hops - 1),
+        "va_grants": flit_rate / 3 * avg_hops,
+    }
+    joules_per_cycle = (
+        events_per_cycle["buffer_writes"] * tech.E_BUFFER_WRITE_J
+        + events_per_cycle["buffer_reads"] * tech.E_BUFFER_READ_J
+        + events_per_cycle["xbar_traversals"] * tech.E_XBAR_J
+        + events_per_cycle["link_traversals"] * tech.E_LINK_J
+        + events_per_cycle["va_grants"] * tech.E_ARBITRATION_J
+    )
+    return joules_per_cycle * tech.FREQUENCY_HZ
+
+
+def figure1_rows() -> list[Fig1Row]:
+    rows = []
+    for v in (3, 2, 1):
+        params = RouterParams(num_vcs=v)
+        area = router_area(params)
+        power = router_static_power(params)
+        rows.append(
+            Fig1Row(
+                num_vcs=v,
+                buffer_area_um2=area.buffer,
+                xbar_area_um2=area.xbar,
+                ctrl_area_um2=area.ctrl,
+                buffer_static_w=power.buffer_static,
+                ctrl_static_w=power.ctrl_static,
+                xbar_static_w=power.xbar_static,
+                dynamic_w=_representative_dynamic_w(v),
+            )
+        )
+    return rows
+
+
+def render_figure1() -> str:
+    rows = figure1_rows()
+    area = format_table(
+        ["VCs", "buffer um2", "xbar um2", "ctrl um2", "total um2", "buffer %"],
+        [
+            [
+                r.num_vcs,
+                f"{r.buffer_area_um2:.3g}",
+                f"{r.xbar_area_um2:.3g}",
+                f"{r.ctrl_area_um2:.3g}",
+                f"{r.total_area:.3g}",
+                f"{100 * r.buffer_area_um2 / r.total_area:.1f}",
+            ]
+            for r in rows
+        ],
+        "Figure 1(a): router area breakdown",
+    )
+    power = format_table(
+        ["VCs", "dynamic W", "buffer_static W", "ctrl_static W", "xbar_static W", "total W"],
+        [
+            [
+                r.num_vcs,
+                f"{r.dynamic_w:.3f}",
+                f"{r.buffer_static_w:.3f}",
+                f"{r.ctrl_static_w:.3f}",
+                f"{r.xbar_static_w:.3f}",
+                f"{r.total_power:.3f}",
+            ]
+            for r in rows
+        ],
+        "Figure 1(b): router power breakdown",
+    )
+    return area + "\n\n" + power

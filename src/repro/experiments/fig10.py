@@ -1,0 +1,100 @@
+"""Figures 10 and 11: latency vs injection rate, five designs, four patterns.
+
+Figure 10 is the 4x4 torus, Figure 11 the 8x8.  For each of UR / TP / BC /
+TO this harness sweeps the injection rate for all five designs and prints
+the latency curves plus the saturation throughputs (latency = 3x
+zero-load), which is where the paper's headline percentages come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.sweep import SweepResult, sweep
+from ..sim.config import SimulationConfig
+from ..topology.torus import Torus
+from .designs import PAPER_DESIGNS
+from .runner import Scale, current_scale, format_table
+
+__all__ = ["LatencyLoadStudy", "latency_load_study", "render_study"]
+
+#: Per-pattern sweep ceilings (flits/node/cycle); patterns saturate at very
+#: different loads (tornado worst), mirroring the paper's per-plot x-axes.
+MAX_RATE_4X4 = {"UR": 0.70, "TP": 0.60, "BC": 0.55, "TO": 0.35}
+MAX_RATE_8X8 = {"UR": 0.55, "TP": 0.45, "BC": 0.40, "TO": 0.25}
+
+
+@dataclass
+class LatencyLoadStudy:
+    """All curves of one figure (one torus size)."""
+
+    radix: int
+    curves: dict[tuple[str, str], SweepResult]  # (pattern, design) -> curve
+
+    def saturation_table(self) -> list[list[object]]:
+        rows = []
+        for pattern in ("UR", "TP", "BC", "TO"):
+            row: list[object] = [pattern]
+            for design in PAPER_DESIGNS:
+                curve = self.curves.get((pattern, design))
+                row.append(f"{curve.saturation():.3f}" if curve else "-")
+            rows.append(row)
+        return rows
+
+
+def latency_load_study(
+    radix: int,
+    *,
+    patterns: tuple[str, ...] = ("UR", "TP", "BC", "TO"),
+    designs: tuple[str, ...] = PAPER_DESIGNS,
+    scale: Scale | None = None,
+    config: SimulationConfig | None = None,
+    seed: int = 1,
+) -> LatencyLoadStudy:
+    """Run the sweeps behind Figure 10 (radix=4) or Figure 11 (radix=8)."""
+    scale = scale or current_scale()
+    max_rates = MAX_RATE_4X4 if radix <= 4 else MAX_RATE_8X8
+    curves: dict[tuple[str, str], SweepResult] = {}
+    for pattern in patterns:
+        top = max_rates.get(pattern, 0.5)
+        rates = [0.02] + [
+            top * (i + 1) / scale.sweep_points for i in range(scale.sweep_points)
+        ]
+        for design in designs:
+            curves[(pattern, design)] = sweep(
+                design,
+                lambda: Torus((radix, radix)),
+                pattern,
+                rates,
+                config=config,
+                warmup=scale.warmup,
+                measure=scale.measure,
+                seed=seed,
+            )
+    return LatencyLoadStudy(radix=radix, curves=curves)
+
+
+def render_study(study: LatencyLoadStudy) -> str:
+    """Latency curves plus the saturation summary, as printable text."""
+    blocks = []
+    for (pattern, design), curve in study.curves.items():
+        rows = [
+            [f"{p.injection_rate:.3f}", f"{min(p.summary.avg_latency, 9999):.1f}"]
+            for p in curve.points
+        ]
+        blocks.append(
+            format_table(
+                ["rate", "latency"],
+                rows,
+                f"{study.radix}x{study.radix} {pattern} {design}",
+            )
+        )
+    blocks.append(
+        format_table(
+            ["pattern", *PAPER_DESIGNS],
+            study.saturation_table(),
+            f"Saturation throughput (latency = 3x zero-load), "
+            f"{study.radix}x{study.radix} torus",
+        )
+    )
+    return "\n\n".join(blocks)

@@ -1,0 +1,69 @@
+"""Figure 12: injection delay at 10/50/90 % of each design's saturation.
+
+Injection delay counts the VC-allocation waits at initial injection and
+at dimension changes.  As in the paper, loads are relative to each
+design's own saturation throughput, so WBFC's stricter injection rules
+and Dateline's looser ones are compared at equal relative stress.
+"""
+
+from __future__ import annotations
+
+from ..metrics.injection import InjectionDelayReport, injection_delay_profile
+from ..sim.config import SimulationConfig
+from ..topology.torus import Torus
+from .designs import PAPER_DESIGNS
+from .runner import Scale, current_scale, format_table
+
+__all__ = ["injection_delay_study", "render_injection_delay"]
+
+
+def injection_delay_study(
+    radices: tuple[int, ...] = (4, 8),
+    *,
+    designs: tuple[str, ...] = PAPER_DESIGNS,
+    scale: Scale | None = None,
+    config: SimulationConfig | None = None,
+    seed: int = 1,
+) -> dict[int, list[InjectionDelayReport]]:
+    """Measure Figure 12's bars for the 4x4 and 8x8 tori."""
+    scale = scale or current_scale()
+    results: dict[int, list[InjectionDelayReport]] = {}
+    for radix in radices:
+        reports = []
+        for design in designs:
+            reports.append(
+                injection_delay_profile(
+                    design,
+                    lambda: Torus((radix, radix)),
+                    "UR",
+                    config=config,
+                    warmup=scale.warmup,
+                    measure=scale.measure,
+                    steps=max(4, scale.sweep_points // 2),
+                    seed=seed,
+                )
+            )
+        results[radix] = reports
+    return results
+
+
+def render_injection_delay(results: dict[int, list[InjectionDelayReport]]) -> str:
+    blocks = []
+    for radix, reports in results.items():
+        rows = [
+            [
+                r.design,
+                f"{r.saturation:.3f}",
+                *(f"{r.delays[f]:.2f}" for f in sorted(r.delays)),
+            ]
+            for r in reports
+        ]
+        fractions = sorted(reports[0].delays) if reports else []
+        blocks.append(
+            format_table(
+                ["design", "saturation", *(f"{int(100 * f)}% load" for f in fractions)],
+                rows,
+                f"Figure 12: injection delay, {radix}x{radix} torus (cycles)",
+            )
+        )
+    return "\n\n".join(blocks)

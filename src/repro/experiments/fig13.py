@@ -1,0 +1,89 @@
+"""Figure 13: PARSEC execution time, five designs, normalized to WBFC-1VC.
+
+Runs the closed-loop coherence workload (the PARSEC substitute, see
+:mod:`repro.traffic.parsec`) to completion on every design and reports
+execution times normalized to WBFC-1VC, exactly the quantity Figure 13
+plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..power.energy import EnergyBreakdown, network_energy
+from ..sim.config import SimulationConfig
+from ..sim.deadlock import Watchdog
+from ..sim.engine import Simulator
+from ..topology.torus import Torus
+from ..traffic.parsec import PARSEC_PROFILES, CoherenceWorkload
+from .designs import PAPER_DESIGNS, build_network
+from .runner import Scale, current_scale, format_table
+
+__all__ = ["ParsecResult", "run_parsec", "render_parsec"]
+
+
+@dataclass
+class ParsecResult:
+    """Execution time and energy per (benchmark, design)."""
+
+    exec_cycles: dict[tuple[str, str], int] = field(default_factory=dict)
+    energy: dict[tuple[str, str], EnergyBreakdown] = field(default_factory=dict)
+
+    def normalized_times(self, baseline: str = "WBFC-1VC") -> dict[tuple[str, str], float]:
+        out = {}
+        benches = {b for b, _ in self.exec_cycles}
+        for bench in benches:
+            base = self.exec_cycles[(bench, baseline)]
+            for (b, d), t in self.exec_cycles.items():
+                if b == bench:
+                    out[(b, d)] = t / base
+        return out
+
+
+def run_parsec(
+    benchmarks: tuple[str, ...] | None = None,
+    *,
+    designs: tuple[str, ...] = PAPER_DESIGNS,
+    radix: int = 4,
+    scale: Scale | None = None,
+    config: SimulationConfig | None = None,
+    seed: int = 11,
+) -> ParsecResult:
+    """Run every (benchmark, design) pair to completion."""
+    scale = scale or current_scale()
+    if benchmarks is None:
+        benchmarks = tuple(PARSEC_PROFILES)
+    result = ParsecResult()
+    for bench in benchmarks:
+        for design in designs:
+            network = build_network(design, Torus((radix, radix)), config)
+            workload = CoherenceWorkload(
+                network,
+                bench,
+                transactions_per_core=scale.parsec_transactions,
+                seed=seed,
+            )
+            simulator = Simulator(
+                network, workload, watchdog=Watchdog(network, deadlock_window=20_000)
+            )
+            cycles = workload.run_to_completion(simulator)
+            result.exec_cycles[(bench, design)] = cycles
+            result.energy[(bench, design)] = network_energy(network, cycles)
+    return result
+
+
+def render_parsec(result: ParsecResult, *, designs: tuple[str, ...] = PAPER_DESIGNS) -> str:
+    normalized = result.normalized_times()
+    benches = sorted({b for b, _ in result.exec_cycles})
+    rows = []
+    for bench in benches:
+        rows.append([bench, *(f"{normalized[(bench, d)]:.3f}" for d in designs)])
+    avg = ["AVG"]
+    for d in designs:
+        avg.append(f"{sum(normalized[(b, d)] for b in benches) / len(benches):.3f}")
+    rows.append(avg)
+    return format_table(
+        ["benchmark", *designs],
+        rows,
+        "Figure 13: PARSEC execution time (normalized to WBFC-1VC)",
+    )

@@ -1,0 +1,64 @@
+"""Figure 14: router area breakdown for the five designs.
+
+Pure model output (area is workload independent).  The harness also
+checks the paper's three headline deltas: -17 % total for WBFC-1VC vs
+DL-2VC, -15 % for WBFC-2VC vs DL-3VC, and the WBFC overhead being ~3.4 %
+of WBFC-3VC.
+"""
+
+from __future__ import annotations
+
+from ..power.orion import AreaBreakdown, RouterParams, router_area
+from .designs import DESIGNS, PAPER_DESIGNS
+from .runner import format_table
+
+__all__ = ["design_area", "figure14_areas", "render_figure14"]
+
+
+def design_area(design_name: str, *, buffer_depth: int = 3, num_ports: int = 5) -> AreaBreakdown:
+    """Router area of one named design."""
+    design = DESIGNS[design_name]
+    params = RouterParams(
+        num_vcs=design.num_vcs,
+        buffer_depth=buffer_depth,
+        num_ports=num_ports,
+        has_wbfc=design.flow_control == "wbfc",
+    )
+    return router_area(params)
+
+
+def figure14_areas() -> dict[str, AreaBreakdown]:
+    return {name: design_area(name) for name in PAPER_DESIGNS}
+
+
+def render_figure14() -> str:
+    areas = figure14_areas()
+    dl2, dl3 = areas["DL-2VC"], areas["DL-3VC"]
+    rows = []
+    for name, a in areas.items():
+        rows.append(
+            [
+                name,
+                f"{a.buffer:.3g}",
+                f"{a.xbar:.3g}",
+                f"{a.overhead:.3g}",
+                f"{a.ctrl:.3g}",
+                f"{a.total:.3g}",
+            ]
+        )
+    table = format_table(
+        ["design", "buffer", "xbar", "overhead", "ctrl", "total (um2)"],
+        rows,
+        "Figure 14: router area breakdown",
+    )
+    deltas = [
+        f"WBFC-1VC vs DL-2VC: buffer {1 - areas['WBFC-1VC'].buffer / dl2.buffer:+.1%}, "
+        f"ctrl {1 - areas['WBFC-1VC'].ctrl / dl2.ctrl:+.1%}, "
+        f"total {1 - areas['WBFC-1VC'].total / dl2.total:+.1%} (paper: 50%, 61%, 17%)",
+        f"WBFC-2VC vs DL-3VC: buffer {1 - areas['WBFC-2VC'].buffer / dl3.buffer:+.1%}, "
+        f"ctrl {1 - areas['WBFC-2VC'].ctrl / dl3.ctrl:+.1%}, "
+        f"total {1 - areas['WBFC-2VC'].total / dl3.total:+.1%} (paper: 33%, 52%, 15%)",
+        f"WBFC overhead share of WBFC-3VC: "
+        f"{areas['WBFC-3VC'].overhead / areas['WBFC-3VC'].total:.1%} (paper: 3.4%)",
+    ]
+    return table + "\n" + "\n".join(deltas)

@@ -1,0 +1,59 @@
+"""Figure 15: router energy breakdown over PARSEC, normalized to DL-3VC.
+
+Combines Figure 13's execution-time runs with the static-power model and
+the networks' dynamic activity counters.  The paper's key observations:
+WBFC-1VC has the lowest total energy despite the longest execution time
+(-53.4 % static, -27.2 % total vs DL-3VC on average), and every WBFC
+design beats its Dateline peer through shorter runtimes.
+"""
+
+from __future__ import annotations
+
+from .designs import PAPER_DESIGNS
+from .fig13 import ParsecResult
+from .runner import format_table
+
+__all__ = ["energy_table", "render_figure15"]
+
+
+def energy_table(
+    result: ParsecResult, *, designs: tuple[str, ...] = PAPER_DESIGNS
+) -> dict[tuple[str, str], dict[str, float]]:
+    """Per (benchmark, design): energy shares normalized to DL-3VC's total."""
+    out = {}
+    benches = sorted({b for b, _ in result.energy})
+    for bench in benches:
+        baseline = result.energy[(bench, "DL-3VC")]
+        for design in designs:
+            out[(bench, design)] = result.energy[(bench, design)].normalized_to(baseline)
+    return out
+
+
+def render_figure15(result: ParsecResult, *, designs: tuple[str, ...] = PAPER_DESIGNS) -> str:
+    table = energy_table(result, designs=designs)
+    benches = sorted({b for b, _ in table})
+    rows = []
+    for bench in benches:
+        for design in designs:
+            e = table[(bench, design)]
+            rows.append(
+                [
+                    bench,
+                    design,
+                    f"{e['buffer_static']:.3f}",
+                    f"{e['ctrl_static']:.3f}",
+                    f"{e['xbar_static']:.3f}",
+                    f"{e['dynamic']:.3f}",
+                    f"{e['total']:.3f}",
+                ]
+            )
+    # Averages across benchmarks per design.
+    rows.append(["-"] * 7)
+    for design in designs:
+        avg = sum(table[(b, design)]["total"] for b in benches) / len(benches)
+        rows.append(["AVG", design, "", "", "", "", f"{avg:.3f}"])
+    return format_table(
+        ["benchmark", "design", "buf_static", "ctrl_static", "xbar_static", "dynamic", "total"],
+        rows,
+        "Figure 15: router energy (normalized to DL-3VC per benchmark)",
+    )

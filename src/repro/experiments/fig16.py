@@ -1,0 +1,84 @@
+"""Figure 16: impact of buffer size (1-, 3- and 5-flit) on an 8x8 torus.
+
+Compares DL-3VC and WBFC-3VC under uniform random traffic at each buffer
+depth.  The paper's shape: WBFC beats Dateline at every depth (+42.8 % at
+1 flit, +30.8 % at 3, +21 % at 5), throughput grows with depth for both,
+and WBFC-3VC at 3 flits outperforms DL-3VC at 5 flits.
+
+Note the 1-flit point is the extreme WBFC case: ``ML = 5``, so a long
+packet must reserve four worm-bubbles before injecting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..metrics.sweep import SweepResult, sweep
+from ..sim.config import SimulationConfig
+from ..topology.torus import Torus
+from .runner import Scale, current_scale, format_table
+
+__all__ = ["buffer_size_study", "render_figure16"]
+
+DEPTHS = (1, 3, 5)
+DESIGNS_16 = ("DL-3VC", "WBFC-3VC")
+
+
+def buffer_size_study(
+    *,
+    radix: int = 8,
+    depths: tuple[int, ...] = DEPTHS,
+    scale: Scale | None = None,
+    seed: int = 1,
+) -> dict[tuple[str, int], SweepResult]:
+    """Sweep UR load for each (design, buffer depth) pair."""
+    scale = scale or current_scale()
+    curves: dict[tuple[str, int], SweepResult] = {}
+    base = SimulationConfig()
+    for depth in depths:
+        config = replace(base, buffer_depth=depth)
+        rates = [0.02] + [
+            0.55 * (i + 1) / scale.sweep_points for i in range(scale.sweep_points)
+        ]
+        for design in DESIGNS_16:
+            curves[(design, depth)] = sweep(
+                design,
+                lambda: Torus((radix, radix)),
+                "UR",
+                rates,
+                config=config,
+                warmup=scale.warmup,
+                measure=scale.measure,
+                seed=seed,
+            )
+    return curves
+
+
+def render_figure16(curves: dict[tuple[str, int], SweepResult]) -> str:
+    rows = []
+    depths = sorted({d for _, d in curves})
+    for depth in depths:
+        dl = curves[("DL-3VC", depth)].saturation()
+        wb = curves[("WBFC-3VC", depth)].saturation()
+        rows.append(
+            [
+                f"{depth}F",
+                f"{dl:.3f}",
+                f"{wb:.3f}",
+                f"{(wb / dl - 1):+.1%}" if dl else "-",
+            ]
+        )
+    table = format_table(
+        ["buffer", "DL-3VC sat", "WBFC-3VC sat", "WBFC gain"],
+        rows,
+        "Figure 16: saturation throughput vs buffer size (8x8 UR)",
+    )
+    extra = ""
+    if 3 in depths and 5 in depths:
+        wb3 = curves[("WBFC-3VC", 3)].saturation()
+        dl5 = curves[("DL-3VC", 5)].saturation()
+        extra = (
+            f"\nWBFC-3VC-3F vs DL-3VC-5F: {wb3 / dl5 - 1:+.1%} "
+            "(paper: +13.3%)"
+        )
+    return table + extra

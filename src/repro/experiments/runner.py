@@ -1,0 +1,55 @@
+"""Shared experiment plumbing: scaling knobs and table rendering.
+
+All figure harnesses honour the ``REPRO_FULL`` environment variable: unset
+(default) runs CI-scale simulations (short windows, fewer load points);
+``REPRO_FULL=1`` switches to paper-scale windows (10k warmup + 100k
+measured cycles, Section 4).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Scale", "current_scale", "format_table"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Simulation sizing for one fidelity level."""
+
+    name: str
+    warmup: int
+    measure: int
+    sweep_points: int
+    parsec_transactions: int
+
+
+_CI = Scale(name="ci", warmup=500, measure=2_500, sweep_points=6, parsec_transactions=60)
+_FULL = Scale(
+    name="full", warmup=10_000, measure=100_000, sweep_points=12, parsec_transactions=400
+)
+
+
+def current_scale() -> Scale:
+    """CI-scale by default; paper-scale when ``REPRO_FULL=1``."""
+    return _FULL if os.environ.get("REPRO_FULL") == "1" else _CI
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Plain-text table matching the repo's benchmark output style."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    def fmt(row: list[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(r) for r in cells)
+    return "\n".join(lines)

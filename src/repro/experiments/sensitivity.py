@@ -1,0 +1,131 @@
+"""Sensitivity studies beyond the paper's figures.
+
+Two sweeps that quantify claims the paper makes in prose:
+
+- **Scalability (Section 5.2)** — "an increased benefit of WBFC over
+  Dateline for larger network sizes": measure the WBFC-2VC / DL-2VC
+  saturation ratio across torus radices.
+- **Valve sensitivity** — how the banked-CI reclaim patience (this
+  reproduction's liveness valve) affects WBFC-1VC latency, justifying the
+  default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.wbfc import WormBubbleFlowControl
+from ..metrics.stats import MetricsCollector
+from ..metrics.sweep import saturation_throughput
+from ..network.network import Network
+from ..routing.dor import DimensionOrderRouting
+from ..sim.config import SimulationConfig
+from ..sim.deadlock import Watchdog
+from ..sim.engine import Simulator
+from ..topology.torus import Torus
+from ..traffic.generator import SyntheticTraffic
+from ..traffic.patterns import UniformRandom
+from .runner import Scale, current_scale, format_table
+
+__all__ = [
+    "ScalabilityPoint",
+    "scalability_study",
+    "render_scalability",
+    "reclaim_patience_study",
+    "render_reclaim_patience",
+]
+
+
+@dataclass(frozen=True)
+class ScalabilityPoint:
+    radix: int
+    wbfc2_saturation: float
+    dl2_saturation: float
+
+    @property
+    def gain(self) -> float:
+        return self.wbfc2_saturation / self.dl2_saturation - 1.0
+
+
+def scalability_study(
+    radices: tuple[int, ...] = (4, 6, 8),
+    *,
+    scale: Scale | None = None,
+    seed: int = 1,
+) -> list[ScalabilityPoint]:
+    """WBFC-2VC vs DL-2VC saturation across torus sizes (UR traffic)."""
+    scale = scale or current_scale()
+    points = []
+    for radix in radices:
+        kwargs = dict(
+            warmup=scale.warmup,
+            measure=scale.measure,
+            steps=max(5, scale.sweep_points),
+            max_rate=0.6,
+            seed=seed,
+        )
+        wbfc2 = saturation_throughput(
+            "WBFC-2VC", lambda: Torus((radix, radix)), "UR", **kwargs
+        )
+        dl2 = saturation_throughput(
+            "DL-2VC", lambda: Torus((radix, radix)), "UR", **kwargs
+        )
+        points.append(
+            ScalabilityPoint(radix=radix, wbfc2_saturation=wbfc2, dl2_saturation=dl2)
+        )
+    return points
+
+
+def render_scalability(points: list[ScalabilityPoint]) -> str:
+    rows = [
+        [
+            f"{p.radix}x{p.radix}",
+            f"{p.dl2_saturation:.3f}",
+            f"{p.wbfc2_saturation:.3f}",
+            f"{p.gain:+.1%}",
+        ]
+        for p in points
+    ]
+    return format_table(
+        ["torus", "DL-2VC sat", "WBFC-2VC sat", "WBFC gain"],
+        rows,
+        "Scalability: WBFC-2VC vs DL-2VC across network sizes (Section 5.2)",
+    )
+
+
+def reclaim_patience_study(
+    patiences: tuple[int, ...] = (0, 2, 8, 32),
+    *,
+    rate: float = 0.10,
+    scale: Scale | None = None,
+    seed: int = 3,
+) -> dict[int, float]:
+    """WBFC-1VC average latency on a 4x4 torus per reclaim patience."""
+    scale = scale or current_scale()
+    results: dict[int, float] = {}
+    for patience in patiences:
+        topo = Torus((4, 4))
+        net = Network(
+            topo,
+            DimensionOrderRouting(topo),
+            WormBubbleFlowControl(reclaim_patience=patience),
+            SimulationConfig(num_vcs=1),
+        )
+        wl = SyntheticTraffic(UniformRandom(topo), rate, seed=seed)
+        mc = MetricsCollector(net)
+        sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=20_000))
+        sim.run(scale.warmup)
+        mc.begin(sim.cycle)
+        sim.run(scale.measure)
+        mc.end(sim.cycle)
+        results[patience] = mc.summary().avg_latency
+    return results
+
+
+def render_reclaim_patience(results: dict[int, float]) -> str:
+    rows = [[p, f"{lat:.1f}"] for p, lat in sorted(results.items())]
+    return format_table(
+        ["patience (cycles)", "avg latency"],
+        rows,
+        "Reclaim-patience sensitivity, WBFC-1VC 4x4 UR @ 0.10",
+    )

@@ -1,0 +1,15 @@
+"""Flow-control schemes: Dateline, BFC, CBS, and the unrestricted control."""
+
+from .base import FlowControl
+from .bfc import LocalizedBubbleFlowControl
+from .cbs import CriticalBubbleScheme
+from .dateline import DatelineFlowControl
+from .unrestricted import UnrestrictedFlowControl
+
+__all__ = [
+    "FlowControl",
+    "DatelineFlowControl",
+    "LocalizedBubbleFlowControl",
+    "CriticalBubbleScheme",
+    "UnrestrictedFlowControl",
+]

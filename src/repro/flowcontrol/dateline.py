@@ -1,0 +1,124 @@
+"""Dateline flow control (the paper's baseline).
+
+The classic technique [Dally & Seitz; Dally & Towles ch. 13]: each ring's
+escape bandwidth is split into a *low* (class 0) and a *high* (class 1) VC.
+A packet whose remaining ring path crosses the dateline — placed on the
+wraparound link — starts low and switches to high exactly when traversing
+that link; the switch breaks the cyclic channel dependence.
+
+We implement the *optimized, balanced* variant the paper compares against:
+packets whose path does not cross the dateline may be assigned either
+class (both are safe, since such packets never traverse the dateline
+link), and the assignment alternates per injection channel to balance
+utilization of the two classes.
+"""
+
+from __future__ import annotations
+
+from ..network.buffers import InputVC, OutputVC
+from ..network.flit import Packet
+from ..topology.ring import UnidirectionalRing
+from ..topology.torus import Torus, port_dim
+from .base import FlowControl
+from ..core.state import RingContext
+
+__all__ = ["DatelineFlowControl"]
+
+_LOW, _HIGH = 0, 1
+
+
+class DatelineFlowControl(FlowControl):
+    """Two-class dateline VC assignment with balanced class selection."""
+
+    name = "dateline"
+    required_escape_vcs = 2
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Balance toggle per injection channel for non-crossing packets.
+        self._balance: dict[tuple[int, int], int] = {}
+
+    # -- ring geometry helpers ------------------------------------------------
+
+    def _remaining_ring_hops(self, node: int, packet: Packet, ring_id: str) -> int:
+        """Hops the packet still rides this ring, starting from ``node``."""
+        topo = self.network.topology  # type: ignore[union-attr]
+        if isinstance(topo, Torus):
+            out_port = self.ring_out_port[(ring_id, node)]
+            return abs(topo.dimension_offset(node, packet.dst, port_dim(out_port)))
+        if isinstance(topo, UnidirectionalRing):
+            return (packet.dst - node) % topo.size
+        raise NotImplementedError(
+            f"dateline placement is not defined for {type(topo).__name__}"
+        )
+
+    def _crosses_dateline(self, node: int, packet: Packet, ring_id: str) -> bool:
+        """Does the remaining ring path traverse the hops[-1]→hops[0] link?"""
+        pos = self.ring_position[(ring_id, node)]
+        k = len(self.rings[ring_id])
+        return pos + self._remaining_ring_hops(node, packet, ring_id) >= k
+
+    def _is_dateline_link(self, node: int, ring_id: str) -> bool:
+        """Is ``node``'s ring-continuation link the dateline (wrap) link?"""
+        return self.ring_position[(ring_id, node)] == len(self.rings[ring_id]) - 1
+
+    # -- VC class selection ------------------------------------------------------
+
+    def escape_vc_choices(
+        self, packet: Packet, node: int, out_port: int, in_ring: bool
+    ) -> tuple[int, ...]:
+        ring_id = self.ring_of_output.get((node, out_port))
+        if ring_id is None:
+            # No embedded ring on this hop (mesh): either class is safe.
+            return (_LOW, _HIGH)
+        if in_ring:
+            ctx: RingContext | None = packet.current_ctx
+            high = (ctx is not None and ctx.dl_high) or self._is_dateline_link(node, ring_id)
+            return (_HIGH,) if high else (_LOW,)
+        if self._is_dateline_link(node, ring_id):
+            # Entering the ring on the dateline link itself: start high.
+            return (_HIGH,)
+        down_node = self.rings[ring_id].hops[
+            (self.ring_position[(ring_id, node)] + 1) % len(self.rings[ring_id])
+        ].node
+        if self._crosses_dateline(down_node, packet, ring_id):
+            return (_LOW,)
+        # Balanced optimization: non-crossing packets may use either class;
+        # alternate the preferred class per injection channel.
+        key = (node, out_port)
+        toggle = self._balance.get(key, 0)
+        self._balance[key] = toggle ^ 1
+        return (_LOW, _HIGH) if toggle == 0 else (_HIGH, _LOW)
+
+    def allow_escape(
+        self,
+        packet: Packet,
+        node: int,
+        out_port: int,
+        ovc: OutputVC,
+        in_ring: bool,
+        cycle: int,
+    ) -> bool:
+        # Dateline restricts *which* VC a packet may use (escape_vc_choices),
+        # never *whether* a free VC of the right class may be taken.
+        return True
+
+    # -- context upkeep ---------------------------------------------------------
+
+    def on_acquire(self, packet: Packet, ivc: InputVC, in_ring: bool, node: int, cycle: int) -> None:
+        if ivc.ring_id is None:
+            return
+        if in_ring:
+            ctx = packet.current_ctx
+            if ctx is not None and ivc.vc == _HIGH:
+                ctx.dl_high = True
+        else:
+            ctx = RingContext(ring_id=ivc.ring_id)
+            ctx.dl_high = ivc.vc == _HIGH
+            packet.current_ctx = ctx
+
+    def on_leave_ring(self, packet: Packet, node: int, cycle: int) -> None:
+        ctx: RingContext | None = packet.current_ctx
+        if ctx is not None:
+            ctx.closed = True
+        packet.current_ctx = None

@@ -1,0 +1,28 @@
+"""Unrestricted flow control — deliberately deadlock-prone.
+
+Applies no rule beyond atomic buffer allocation.  On a torus this deadlocks
+under load (Figure 5's scenario); it exists as the negative control for the
+deadlock watchdog and as the baseline showing *why* WBFC/Dateline are
+needed.  On ring-free topologies (meshes) it is perfectly safe.
+"""
+
+from __future__ import annotations
+
+from .base import FlowControl
+
+__all__ = ["UnrestrictedFlowControl"]
+
+
+class UnrestrictedFlowControl(FlowControl):
+    """No deadlock avoidance: any free escape VC may be taken by anyone."""
+
+    name = "unrestricted"
+    required_escape_vcs = 1
+
+    def validate(self) -> None:
+        # Any escape-VC count is acceptable; there is nothing to enforce.
+        assert self.network is not None
+
+    def escape_vc_choices(self, packet, node, out_port, in_ring):
+        assert self.network is not None
+        return tuple(range(self.network.config.num_escape_vcs))

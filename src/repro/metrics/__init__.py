@@ -1,0 +1,17 @@
+"""Measurement: latency/throughput statistics, sweeps, injection delay."""
+
+from .injection import InjectionDelayReport, injection_delay_profile
+from .stats import MeasurementSummary, MetricsCollector
+from .sweep import SweepPoint, SweepResult, run_point, saturation_throughput, sweep
+
+__all__ = [
+    "MeasurementSummary",
+    "MetricsCollector",
+    "SweepPoint",
+    "SweepResult",
+    "run_point",
+    "sweep",
+    "saturation_throughput",
+    "injection_delay_profile",
+    "InjectionDelayReport",
+]

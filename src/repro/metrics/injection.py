@@ -1,0 +1,58 @@
+"""Injection-delay measurement at fractions of saturation (Figure 12).
+
+The paper reports average injection delay — the VC-allocation wait a
+packet suffers at its initial injection plus at every dimension change —
+at 10%, 50% and 90% of each design's *own* saturation throughput, so every
+design is observed at comparable relative stress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..experiments.designs import Design
+from ..sim.config import SimulationConfig
+from ..topology.base import Topology
+from .sweep import run_point, saturation_throughput
+
+__all__ = ["InjectionDelayReport", "injection_delay_profile"]
+
+
+@dataclass(frozen=True)
+class InjectionDelayReport:
+    """Injection delay of one design at relative load levels."""
+
+    design: str
+    saturation: float
+    #: load fraction -> average injection delay in cycles
+    delays: dict[float, float]
+
+
+def injection_delay_profile(
+    design: Design | str,
+    topology_factory: Callable[[], Topology],
+    pattern_name: str = "UR",
+    *,
+    fractions: tuple[float, ...] = (0.1, 0.5, 0.9),
+    config: SimulationConfig | None = None,
+    steps: int = 9,
+    **kwargs,
+) -> InjectionDelayReport:
+    """Measure injection delay at the given fractions of saturation."""
+    sat = saturation_throughput(
+        design, topology_factory, pattern_name, config=config, steps=steps, **kwargs
+    )
+    delays: dict[float, float] = {}
+    for fraction in fractions:
+        summary = run_point(
+            design,
+            topology_factory,
+            pattern_name,
+            sat * fraction,
+            config=config,
+            **kwargs,
+        )
+        delays[fraction] = summary.avg_injection_delay
+    name = design if isinstance(design, str) else design.name
+    return InjectionDelayReport(design=name, saturation=sat, delays=delays)

@@ -1,0 +1,80 @@
+"""Experiment report writer.
+
+Collects the text renderings of the figure harnesses into a single
+markdown report (and optional per-figure CSV files), so a full
+reproduction run leaves a self-contained artifact.  Used by
+``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["ReportSection", "ExperimentReport"]
+
+
+@dataclass
+class ReportSection:
+    """One figure/table of the report."""
+
+    key: str  # e.g. "fig10"
+    title: str
+    body: str  # preformatted text block
+    csv_rows: list[list[object]] = field(default_factory=list)
+    csv_header: list[str] = field(default_factory=list)
+
+
+@dataclass
+class ExperimentReport:
+    """An ordered collection of sections, writable to disk."""
+
+    title: str = "Worm-Bubble Flow Control — reproduction report"
+    sections: list[ReportSection] = field(default_factory=list)
+
+    def add(
+        self,
+        key: str,
+        title: str,
+        body: str,
+        *,
+        csv_header: list[str] | None = None,
+        csv_rows: list[list[object]] | None = None,
+    ) -> None:
+        self.sections.append(
+            ReportSection(
+                key=key,
+                title=title,
+                body=body,
+                csv_header=csv_header or [],
+                csv_rows=csv_rows or [],
+            )
+        )
+
+    def to_markdown(self) -> str:
+        parts = [f"# {self.title}", ""]
+        for section in self.sections:
+            parts.append(f"## {section.title}")
+            parts.append("")
+            parts.append("```text")
+            parts.append(section.body.rstrip())
+            parts.append("```")
+            parts.append("")
+        return "\n".join(parts)
+
+    def write(self, directory: str | Path) -> Path:
+        """Write report.md plus one CSV per section that carries rows."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        report_path = directory / "report.md"
+        report_path.write_text(self.to_markdown())
+        for section in self.sections:
+            if section.csv_rows:
+                with open(directory / f"{section.key}.csv", "w", newline="") as fh:
+                    writer = csv.writer(fh)
+                    if section.csv_header:
+                        writer.writerow(section.csv_header)
+                    writer.writerows(section.csv_rows)
+        return report_path

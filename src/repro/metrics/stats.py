@@ -1,0 +1,96 @@
+"""Latency, throughput and injection-delay measurement.
+
+Follows the paper's methodology: warm the network up, then collect over a
+measurement window.  Latency is creation-to-tail-ejection (source queueing
+included, so the latency-throughput curve diverges past saturation);
+throughput is accepted flits per node per cycle over the window; injection
+delay sums the VC-allocation waits a packet suffered at injection and
+dimension-change points.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..network.flit import Packet
+from ..network.network import Network
+
+__all__ = ["MeasurementSummary", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class MeasurementSummary:
+    """Aggregated results of one measurement window."""
+
+    packets: int
+    avg_latency: float
+    p99_latency: float
+    throughput: float  # flits/node/cycle accepted
+    avg_injection_delay: float
+    avg_hops: float
+    window_cycles: int
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "packets": self.packets,
+            "avg_latency": round(self.avg_latency, 2),
+            "p99_latency": round(self.p99_latency, 2),
+            "throughput": round(self.throughput, 4),
+            "avg_injection_delay": round(self.avg_injection_delay, 2),
+            "avg_hops": round(self.avg_hops, 2),
+        }
+
+
+class MetricsCollector:
+    """Ejection listener accumulating one measurement window."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.measure_start: int | None = None
+        self.measure_end: int | None = None
+        self.latencies: list[int] = []
+        self.injection_delays: list[int] = []
+        self.hops: list[int] = []
+        self.flits_accepted = 0
+        self.packets_accepted = 0
+        network.ejection_listeners.append(self._on_ejected)
+
+    def begin(self, cycle: int) -> None:
+        """Start measuring; packets created from now on are samples."""
+        self.measure_start = cycle
+
+    def end(self, cycle: int) -> None:
+        """Close the window (throughput denominator stops here)."""
+        self.measure_end = cycle
+
+    def _on_ejected(self, packet: Packet, cycle: int) -> None:
+        if self.measure_start is None or cycle < self.measure_start:
+            return
+        if self.measure_end is not None and cycle >= self.measure_end:
+            return
+        self.flits_accepted += packet.length
+        self.packets_accepted += 1
+        if packet.created_cycle >= self.measure_start:
+            assert packet.latency is not None
+            self.latencies.append(packet.latency)
+            self.injection_delays.append(packet.injection_delay)
+            self.hops.append(packet.hops)
+
+    def summary(self) -> MeasurementSummary:
+        if self.measure_start is None or self.measure_end is None:
+            raise RuntimeError("measurement window was not opened/closed")
+        window = self.measure_end - self.measure_start
+        if not self.latencies:
+            return MeasurementSummary(0, float("inf"), float("inf"), 0.0, 0.0, 0.0, window)
+        lat_sorted = sorted(self.latencies)
+        p99 = lat_sorted[min(len(lat_sorted) - 1, int(0.99 * len(lat_sorted)))]
+        return MeasurementSummary(
+            packets=len(self.latencies),
+            avg_latency=statistics.fmean(self.latencies),
+            p99_latency=float(p99),
+            throughput=self.flits_accepted / (self.network.topology.num_nodes * window),
+            avg_injection_delay=statistics.fmean(self.injection_delays),
+            avg_hops=statistics.fmean(self.hops),
+            window_cycles=window,
+        )

@@ -1,0 +1,132 @@
+"""Load sweeps and saturation-throughput search.
+
+Reproduces the paper's measurement protocol: warm up, measure over a
+window, and report the latency-vs-injection-rate curve.  Saturation
+throughput follows the paper's definition — the load at which average
+latency reaches three times the zero-load latency (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..experiments.designs import Design, build_network
+from ..sim.config import SimulationConfig
+from ..sim.deadlock import Watchdog
+from ..sim.engine import Simulator
+from ..topology.base import Topology
+from ..traffic.generator import SyntheticTraffic
+from ..traffic.lengths import LengthDistribution
+from ..traffic.patterns import make_pattern
+from .stats import MeasurementSummary, MetricsCollector
+
+__all__ = ["SweepPoint", "SweepResult", "run_point", "sweep", "saturation_throughput"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (injection rate, measurement) pair of a latency-load curve."""
+
+    injection_rate: float
+    summary: MeasurementSummary
+
+
+@dataclass
+class SweepResult:
+    """A full latency-vs-load curve for one design/pattern."""
+
+    design: str
+    pattern: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def zero_load_latency(self) -> float:
+        return self.points[0].summary.avg_latency if self.points else float("inf")
+
+    def saturation(self, factor: float = 3.0) -> float:
+        """Paper definition: load where latency reaches ``factor`` x zero-load.
+
+        Interpolates between the last point below and the first point above
+        the threshold; returns the last measured rate if never exceeded.
+        """
+        if not self.points:
+            return 0.0
+        threshold = factor * self.zero_load_latency
+        prev = self.points[0]
+        for point in self.points[1:]:
+            if point.summary.avg_latency >= threshold:
+                lo, hi = prev.summary.avg_latency, point.summary.avg_latency
+                if hi == lo:
+                    return point.injection_rate
+                t = (threshold - lo) / (hi - lo)
+                return prev.injection_rate + t * (
+                    point.injection_rate - prev.injection_rate
+                )
+            prev = point
+        return self.points[-1].injection_rate if self.points else 0.0
+
+
+def run_point(
+    design: Design | str,
+    topology_factory: Callable[[], Topology],
+    pattern_name: str,
+    injection_rate: float,
+    *,
+    config: SimulationConfig | None = None,
+    lengths: LengthDistribution | None = None,
+    warmup: int = 1_000,
+    measure: int = 4_000,
+    drain: int = 0,
+    seed: int = 1,
+) -> MeasurementSummary:
+    """Simulate one load point and return its measurement summary."""
+    topology = topology_factory()
+    network = build_network(design, topology, config)
+    pattern = make_pattern(pattern_name, topology)
+    workload = SyntheticTraffic(pattern, injection_rate, lengths=lengths, seed=seed)
+    collector = MetricsCollector(network)
+    simulator = Simulator(
+        network, workload, watchdog=Watchdog(network, deadlock_window=5_000)
+    )
+    simulator.run(warmup)
+    collector.begin(simulator.cycle)
+    simulator.run(measure)
+    collector.end(simulator.cycle)
+    if drain:
+        workload.packet_probability = 0.0
+        simulator.drain(drain)
+    return collector.summary()
+
+
+def sweep(
+    design: Design | str,
+    topology_factory: Callable[[], Topology],
+    pattern_name: str,
+    rates: list[float] | tuple[float, ...],
+    **kwargs,
+) -> SweepResult:
+    """Measure a latency-load curve across ``rates``."""
+    name = design if isinstance(design, str) else design.name
+    result = SweepResult(design=name, pattern=pattern_name)
+    for rate in rates:
+        summary = run_point(design, topology_factory, pattern_name, rate, **kwargs)
+        result.points.append(SweepPoint(rate, summary))
+    return result
+
+
+def saturation_throughput(
+    design: Design | str,
+    topology_factory: Callable[[], Topology],
+    pattern_name: str,
+    *,
+    max_rate: float = 0.9,
+    steps: int = 9,
+    factor: float = 3.0,
+    **kwargs,
+) -> float:
+    """Saturation load (latency = ``factor`` x zero-load) via a coarse sweep."""
+    rates = [max_rate * (i + 1) / steps for i in range(steps)]
+    rates = [min(rates[0] / 4, 0.02)] + rates  # anchor the zero-load latency
+    curve = sweep(design, topology_factory, pattern_name, rates, **kwargs)
+    return curve.saturation(factor)

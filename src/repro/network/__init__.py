@@ -1,0 +1,21 @@
+"""Flit-level network model: buffers, routers, NICs, links, credits."""
+
+from .buffers import InputVC, OutputVC, VCState
+from .flit import Flit, FlitType, Packet
+from .network import Network
+from .nic import NIC
+from .router import Router
+from .switching import Switching
+
+__all__ = [
+    "Flit",
+    "FlitType",
+    "Packet",
+    "InputVC",
+    "OutputVC",
+    "VCState",
+    "Network",
+    "NIC",
+    "Router",
+    "Switching",
+]

@@ -1,0 +1,113 @@
+"""Store-and-forward bridges for multi-ring topologies.
+
+WBFC makes each *individual* ring deadlock-free (Section 6), but a
+hierarchy of rings adds inter-ring dependencies: a packet blocked entering
+ring B holds buffers of ring A, and local->global->local transfers form a
+cycle no per-ring scheme can break (the test suite demonstrates the wedge).
+Practical hierarchical-ring machines decouple the levels with bridge
+buffers at the hubs; this module models exactly that: a cross-ring journey
+is split into per-ring *segments*, each a complete packet delivery, with
+the hub bridge re-injecting the next segment.  Every segment is intra-ring,
+so WBFC's per-ring guarantee covers the whole network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from ..topology.hierarchical_ring import HierarchicalRing
+from .flit import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["SegmentedJourney", "HierarchicalBridges"]
+
+
+@dataclass
+class SegmentedJourney:
+    """End-to-end bookkeeping of one bridged packet."""
+
+    src: int
+    final_dst: int
+    length: int
+    created_cycle: int
+    segments_done: int = 0
+    delivered_cycle: int | None = None
+
+    @property
+    def latency(self) -> int | None:
+        if self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.created_cycle
+
+
+class HierarchicalBridges:
+    """Hub bridges turning cross-ring packets into per-ring segments."""
+
+    def __init__(self, network: Network):
+        topo = network.topology
+        if not isinstance(topo, HierarchicalRing):
+            raise TypeError("HierarchicalBridges requires a HierarchicalRing")
+        self.network = network
+        self.topology = topo
+        self._pid = itertools.count(10_000_000)  # avoid clashing with workloads
+        self.journeys: list[SegmentedJourney] = []
+        self.delivered: list[SegmentedJourney] = []
+        #: Called as fn(journey, cycle) when the final segment arrives.
+        self.delivery_listeners: list[Callable[[SegmentedJourney, int], None]] = []
+        network.ejection_listeners.append(self._on_ejected)
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, src: int, dst: int, length: int, cycle: int) -> SegmentedJourney:
+        """Start a (possibly bridged) journey from ``src`` to ``dst``."""
+        journey = SegmentedJourney(
+            src=src, final_dst=dst, length=length, created_cycle=cycle
+        )
+        self.journeys.append(journey)
+        self._launch_segment(journey, src, cycle)
+        return journey
+
+    def _next_waypoint(self, here: int, journey: SegmentedJourney) -> int:
+        topo = self.topology
+        if topo.ring_of(here) == topo.ring_of(journey.final_dst):
+            return journey.final_dst
+        if topo.is_hub(here):
+            return topo.hub_of(topo.ring_of(journey.final_dst))
+        return topo.hub_of(topo.ring_of(here))
+
+    def _launch_segment(self, journey: SegmentedJourney, here: int, cycle: int) -> None:
+        waypoint = self._next_waypoint(here, journey)
+        packet = Packet(
+            pid=next(self._pid),
+            src=here,
+            dst=waypoint,
+            length=journey.length,
+            created_cycle=cycle,
+            payload=journey,
+        )
+        self.network.nics[here].offer(packet)
+
+    # -- receiving ------------------------------------------------------------
+
+    def _on_ejected(self, packet: Packet, cycle: int) -> None:
+        journey = packet.payload
+        if not isinstance(journey, SegmentedJourney):
+            return
+        journey.segments_done += 1
+        if packet.dst == journey.final_dst:
+            journey.delivered_cycle = cycle
+            self.delivered.append(journey)
+            for listener in self.delivery_listeners:
+                listener(journey, cycle)
+        else:
+            self._launch_segment(journey, packet.dst, cycle)
+
+    # -- stats ------------------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return len(self.journeys) - len(self.delivered)

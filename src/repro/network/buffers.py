@@ -1,0 +1,178 @@
+"""Virtual-channel buffers and upstream credit mirrors.
+
+:class:`InputVC` is the real buffer at a router input port, including the
+router-pipeline state of the packet at its head and the worm-bubble color
+field used by WBFC.  :class:`OutputVC` is the *upstream mirror* of one
+downstream InputVC: a credit count plus an allocation flag, exactly the
+state a credit-based hardware output unit keeps.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING
+
+from ..core.colors import WBColor
+from .flit import Flit, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    pass
+
+__all__ = ["VCState", "InputVC", "OutputVC"]
+
+
+class VCState(enum.Enum):
+    """Pipeline state of the packet occupying an input VC."""
+
+    IDLE = "idle"
+    ROUTING = "routing"  # head flit present, route computation in flight
+    WAITING_VA = "waiting_va"  # route known, waiting for an output VC
+    ACTIVE = "active"  # output VC allocated, flits flow through SA
+
+
+class InputVC:
+    """One virtual-channel buffer at a router input port."""
+
+    __slots__ = (
+        "node",
+        "port",
+        "vc",
+        "capacity",
+        "flits",
+        "owner",
+        "state",
+        "color",
+        "ring_id",
+        "is_escape",
+        "route_candidates",
+        "out_port",
+        "out_vc",
+        "stage_ready",
+        "va_first_request",
+        "occupant_ctx",
+        "critical",
+        "feeder",
+    )
+
+    def __init__(
+        self,
+        node: int,
+        port: int,
+        vc: int,
+        capacity: int,
+        *,
+        is_escape: bool,
+        ring_id: str | None = None,
+    ):
+        self.node = node
+        self.port = port
+        self.vc = vc
+        self.capacity = capacity
+        self.flits: deque[Flit] = deque()
+        #: Packet currently allocated this buffer (atomic allocation owner).
+        self.owner: Packet | None = None
+        self.state = VCState.IDLE
+        #: Worm-bubble color; meaningful while the buffer is empty.
+        self.color = WBColor.WHITE
+        #: Unidirectional ring this buffer belongs to (escape VCs on rings).
+        self.ring_id = ring_id
+        self.is_escape = is_escape
+        #: Productive (out_port, is_escape_hop) options from route computation.
+        self.route_candidates: tuple[tuple[int, bool], ...] = ()
+        self.out_port: int | None = None
+        self.out_vc: int | None = None
+        #: Cycle at which the current pipeline stage's work completes.
+        self.stage_ready = 0
+        #: Cycle the head packet first requested VA here (injection-delay metric).
+        self.va_first_request: int | None = None
+        #: Ring flow-control context of the packet occupying this buffer.
+        self.occupant_ctx = None
+        #: Critical-bubble flag (CBS, VCT switching).
+        self.critical = False
+        #: The upstream OutputVC mirroring this buffer (None for NIC queues).
+        self.feeder = None
+
+    # -- occupancy ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.flits)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.flits
+
+    @property
+    def is_worm_bubble(self) -> bool:
+        """True when this buffer is an empty, unowned worm-bubble."""
+        return not self.flits and self.owner is None
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - len(self.flits)
+
+    def head_flit(self) -> Flit | None:
+        return self.flits[0] if self.flits else None
+
+    # -- mutation -----------------------------------------------------------
+
+    def push(self, flit: Flit) -> None:
+        if len(self.flits) >= self.capacity:
+            raise OverflowError(
+                f"buffer overflow at node {self.node} port {self.port} vc {self.vc}"
+            )
+        self.flits.append(flit)
+
+    def pop(self) -> Flit:
+        if not self.flits:
+            raise IndexError("pop from empty VC buffer")
+        return self.flits.popleft()
+
+    def release(self) -> None:
+        """Return to IDLE after the owning packet's tail has departed."""
+        if self.flits:
+            raise RuntimeError("released a VC that still holds flits")
+        self.owner = None
+        self.state = VCState.IDLE
+        self.route_candidates = ()
+        self.out_port = None
+        self.out_vc = None
+        self.va_first_request = None
+        self.occupant_ctx = None
+
+    def label(self) -> str:
+        return f"n{self.node}/p{self.port}/v{self.vc}"
+
+
+class OutputVC:
+    """Upstream mirror of one downstream input VC (credit-based control)."""
+
+    __slots__ = ("downstream", "credits", "allocated_to")
+
+    def __init__(self, downstream: InputVC):
+        self.downstream = downstream
+        self.credits = downstream.capacity
+        #: Packet the downstream VC is currently allocated to, as known
+        #: upstream (cleared when the tail's credit returns).
+        self.allocated_to: Packet | None = None
+
+    @property
+    def is_free_for_allocation(self) -> bool:
+        """Atomic allocation: downstream VC unowned and known empty."""
+        return self.allocated_to is None and self.credits == self.downstream.capacity
+
+    @property
+    def has_credit(self) -> bool:
+        return self.credits > 0
+
+    def take_credit(self) -> None:
+        if self.credits <= 0:
+            raise RuntimeError("sent a flit without a credit")
+        self.credits -= 1
+
+    def return_credit(self, *, release: bool) -> None:
+        self.credits += 1
+        if self.credits > self.downstream.capacity:
+            raise RuntimeError("credit overflow")
+        if release:
+            self.allocated_to = None

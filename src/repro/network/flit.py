@@ -1,0 +1,98 @@
+"""Flits and packets.
+
+A packet is the unit of routing; a flit is the unit of flow control and
+buffer allocation.  Wormhole switching moves flits independently, so a
+packet can span several routers ("worm") — the root cause of the extra
+channel dependences WBFC must tame.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["FlitType", "Flit", "Packet"]
+
+
+class FlitType(enum.Enum):
+    """Role of a flit within its packet."""
+
+    HEAD = "head"
+    BODY = "body"
+    TAIL = "tail"
+    #: Single-flit packets carry one flit that is both head and tail.
+    HEAD_TAIL = "head_tail"
+
+    @property
+    def is_head(self) -> bool:
+        return self in (FlitType.HEAD, FlitType.HEAD_TAIL)
+
+    @property
+    def is_tail(self) -> bool:
+        return self in (FlitType.TAIL, FlitType.HEAD_TAIL)
+
+
+@dataclass
+class Packet:
+    """One network packet, including its measurement bookkeeping."""
+
+    pid: int
+    src: int
+    dst: int
+    length: int
+    cls: int = 0
+    created_cycle: int = 0
+    #: Cycle the head flit first entered a router buffer (left the NIC).
+    injected_cycle: int | None = None
+    #: Cycle the tail flit was delivered to the destination NIC.
+    ejected_cycle: int | None = None
+    #: Cycles spent waiting at injection and dimension-change points.
+    injection_delay: int = 0
+    hops: int = 0
+    #: Flow-control context of the ring the head currently rides (see
+    #: :class:`repro.core.state.RingContext`); ``None`` off-ring.
+    current_ctx: Any = None
+    #: Opaque payload for closed-loop workloads (e.g. coherence transaction).
+    payload: Any = None
+
+    def make_flits(self) -> list[Flit]:
+        """Materialize this packet's flit train."""
+        if self.length == 1:
+            return [Flit(self, FlitType.HEAD_TAIL, 0)]
+        flits = [Flit(self, FlitType.HEAD, 0)]
+        flits.extend(Flit(self, FlitType.BODY, i) for i in range(1, self.length - 1))
+        flits.append(Flit(self, FlitType.TAIL, self.length - 1))
+        return flits
+
+    @property
+    def latency(self) -> int | None:
+        """End-to-end latency (creation to tail ejection), if completed."""
+        if self.ejected_cycle is None:
+            return None
+        return self.ejected_cycle - self.created_cycle
+
+@dataclass
+class Flit:
+    """One flit of a packet; identity-compared."""
+
+    packet: Packet
+    ftype: FlitType
+    index: int
+
+    @property
+    def is_head(self) -> bool:
+        return self.ftype.is_head
+
+    @property
+    def is_tail(self) -> bool:
+        return self.ftype.is_tail
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Flit(p{self.packet.pid},{self.ftype.value},{self.index})"
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)

@@ -1,0 +1,184 @@
+"""Network assembly: routers, links, NICs, and the event timeline.
+
+:class:`Network` wires a topology into routers and credit channels,
+attaches a routing function and a flow-control scheme, and owns the delay
+queues that model link and credit latency.  The simulation engine drives
+it one phase at a time so all routers observe consistent state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Callable
+
+from ..sim.config import SimulationConfig
+from ..topology.base import LOCAL_PORT, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids import cycle
+    from ..flowcontrol.base import FlowControl
+    from ..routing.base import RoutingFunction
+from .buffers import InputVC, OutputVC
+from .flit import Flit, Packet
+from .nic import NIC
+from .router import Router
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A complete simulated network instance."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: "RoutingFunction",
+        flow_control: "FlowControl",
+        config: SimulationConfig,
+    ):
+        topology.validate()
+        self.topology = topology
+        self.routing = routing
+        self.flow_control = flow_control
+        self.config = config
+        #: Activity counters feeding the dynamic-energy model.
+        self.activity: dict[str, int] = defaultdict(int)
+        self.flits_in_network = 0
+        self.flits_moved_this_cycle = 0
+        self.packets_ejected = 0
+        #: Callbacks invoked as ``fn(packet, cycle)`` on every ejection.
+        self.ejection_listeners: list[Callable[[Packet, int], None]] = []
+
+        self.routers = [Router(node, self) for node in range(topology.num_nodes)]
+        self._wire_links()
+        self.nics = [
+            NIC(node, self.routers[node].inputs[LOCAL_PORT], self)
+            for node in range(topology.num_nodes)
+        ]
+        self._arrivals: dict[int, list[tuple[InputVC, Flit]]] = defaultdict(list)
+        self._credits: dict[int, list[tuple[OutputVC, bool]]] = defaultdict(list)
+        self._ejections: dict[int, list[tuple[int, Flit]]] = defaultdict(list)
+        flow_control.attach(self)
+
+    # -- construction ---------------------------------------------------------
+
+    def _wire_links(self) -> None:
+        for src, out_port, dst, in_port in self.topology.channels():
+            downstream = self.routers[dst].inputs[in_port]
+            mirrors = [OutputVC(ivc) for ivc in downstream]
+            for ivc, ovc in zip(downstream, mirrors):
+                ivc.feeder = ovc
+            self.routers[src].outputs[out_port] = mirrors
+
+    # -- accessors --------------------------------------------------------------
+
+    def input_vc(self, node: int, port: int, vc: int) -> InputVC:
+        return self.routers[node].inputs[port][vc]
+
+    def all_input_vcs(self) -> list[InputVC]:
+        return [
+            ivc
+            for router in self.routers
+            for port_list in router.inputs
+            for ivc in port_list
+        ]
+
+    # -- event scheduling ---------------------------------------------------------
+
+    def schedule_arrival(self, ivc: InputVC, flit: Flit, when: int) -> None:
+        self._arrivals[when].append((ivc, flit))
+
+    def schedule_credit(self, ovc: OutputVC, is_tail: bool, when: int) -> None:
+        self._credits[when].append((ovc, is_tail))
+
+    def schedule_ejection(self, node: int, flit: Flit, when: int) -> None:
+        self._ejections[when].append((node, flit))
+
+    # -- per-cycle phases -----------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Apply in-flight deliveries, then stage fresh NIC packets."""
+        self.flits_moved_this_cycle = 0
+        for ovc, is_tail in self._credits.pop(cycle, ()):
+            ovc.return_credit(release=is_tail)
+        for ivc, flit in self._arrivals.pop(cycle, ()):
+            self._deliver(ivc, flit, cycle)
+        for node, flit in self._ejections.pop(cycle, ()):
+            self._eject(node, flit, cycle)
+        for nic in self.nics:
+            nic.load(cycle)
+
+    def run_router_phases(self, cycle: int) -> None:
+        for router in self.routers:
+            router.route_compute(cycle)
+        self.flow_control.pre_cycle(cycle)
+        for router in self.routers:
+            router.vc_allocate(cycle)
+        for router in self.routers:
+            router.switch_allocate(cycle)
+
+    def step(self, cycle: int) -> None:
+        """One full cycle without a workload (tests drive this directly)."""
+        self.begin_cycle(cycle)
+        self.run_router_phases(cycle)
+
+    # -- delivery -------------------------------------------------------------------
+
+    def _deliver(self, ivc: InputVC, flit: Flit, cycle: int) -> None:
+        from .buffers import VCState
+        from .switching import Switching
+
+        was_front = not ivc.flits
+        ivc.push(flit)
+        self.activity["buffer_writes"] += 1
+        atomic = self.config.switching is Switching.WORMHOLE_ATOMIC
+        self.flow_control.on_slot_filled(ivc, flit)
+        if flit.is_head:
+            flit.packet.hops += 1
+            if atomic:
+                if ivc.owner is not flit.packet:
+                    raise RuntimeError(
+                        f"head of packet {flit.packet.pid} arrived at "
+                        f"{ivc.label()} owned by "
+                        f"{ivc.owner.pid if ivc.owner else None}"
+                    )
+                ivc.state = VCState.ROUTING
+                ivc.stage_ready = cycle + self.config.routing_delay
+            elif was_front:
+                # Non-atomic: this head is at the buffer front; start RC.
+                ivc.owner = flit.packet
+                ivc.state = VCState.ROUTING
+                ivc.stage_ready = cycle + self.config.routing_delay
+
+    def _eject(self, node: int, flit: Flit, cycle: int) -> None:
+        packet = flit.packet
+        if flit.is_tail:
+            if node != packet.dst:
+                raise RuntimeError(
+                    f"packet {packet.pid} ejected at node {node}, "
+                    f"destination was {packet.dst}"
+                )
+            packet.ejected_cycle = cycle
+            self.packets_ejected += 1
+            self.flits_in_network -= packet.length
+            for listener in self.ejection_listeners:
+                listener(packet, cycle)
+
+    # -- diagnostics -------------------------------------------------------------------
+
+    def total_backlog(self) -> int:
+        """Packets waiting in all NIC source queues."""
+        return sum(nic.backlog for nic in self.nics)
+
+    def occupancy_snapshot(self) -> dict[str, int]:
+        """Flit counts by location, for the deadlock watchdog and tests."""
+        buffered = sum(
+            len(ivc)
+            for router in self.routers
+            for port_list in router.inputs[1:]
+            for ivc in port_list
+        )
+        return {
+            "buffered": buffered,
+            "in_network": self.flits_in_network,
+            "backlog": self.total_backlog(),
+        }

@@ -1,0 +1,318 @@
+"""Canonical 4-stage wormhole router with credit-based flow control.
+
+Pipeline (head flits): route computation (RC) -> VC allocation (VA) ->
+switch allocation (SA) -> switch + link traversal (ST/LT).  Body and tail
+flits inherit the head's allocation and only arbitrate for the switch.
+Buffer allocation is atomic (Equation 3): a downstream VC is granted only
+when its upstream credit mirror shows it empty and unallocated.
+
+The router consults the attached flow-control scheme at two points:
+*which* escape VC class a head may request (``escape_vc_choices``) and
+*whether* an injection into a ring may proceed (``allow_escape``, where
+WBFC also performs its black-marking side effect).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..topology.base import LOCAL_PORT
+from .allocators import RoundRobinArbiter
+from .buffers import InputVC, OutputVC, VCState
+from .flit import Packet
+from .switching import Switching
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["Router"]
+
+
+class Router:
+    """One router node: input buffers, output credit mirrors, allocators."""
+
+    def __init__(self, node: int, network: Network):
+        self.node = node
+        self.network = network
+        cfg = network.config
+        num_ports = network.topology.num_ports
+        #: inputs[port][vc]; the LOCAL port holds the single NIC source queue.
+        self.inputs: list[list[InputVC]] = []
+        for port in range(num_ports):
+            if port == LOCAL_PORT:
+                # One staging slot per VC: the NI can prepare as many packets
+                # concurrently as the router has VCs (per-VC injection queues).
+                self.inputs.append(
+                    [
+                        InputVC(
+                            node, LOCAL_PORT, vc, cfg.max_packet_length, is_escape=False
+                        )
+                        for vc in range(cfg.num_vcs)
+                    ]
+                )
+            else:
+                self.inputs.append(
+                    [
+                        InputVC(
+                            node,
+                            port,
+                            vc,
+                            cfg.buffer_depth,
+                            is_escape=vc < cfg.num_escape_vcs,
+                        )
+                        for vc in range(cfg.num_vcs)
+                    ]
+                )
+        #: outputs[port][vc] -> OutputVC mirror; None where unconnected.
+        self.outputs: list[list[OutputVC] | None] = [None] * num_ports
+        self._va_arbiter = RoundRobinArbiter()
+        self._sa_input_arbiters = [RoundRobinArbiter() for _ in range(num_ports)]
+        self._sa_output_arbiters = [RoundRobinArbiter() for _ in range(num_ports)]
+
+    # -- pipeline stages ------------------------------------------------------
+
+    def route_compute(self, cycle: int) -> None:
+        """Resolve routing candidates for heads whose RC stage completed."""
+        routing = self.network.routing
+        cfg = self.network.config
+        for port_list in self.inputs:
+            for ivc in port_list:
+                if ivc.state is VCState.ROUTING and cycle >= ivc.stage_ready:
+                    head = ivc.head_flit()
+                    assert head is not None and head.is_head
+                    adaptive, escape = routing.route(self.node, head.packet)
+                    ivc.route_candidates = (adaptive, escape)
+                    ivc.state = VCState.WAITING_VA
+                    ivc.stage_ready = cycle + cfg.vc_alloc_delay
+                    ivc.va_first_request = None
+
+    def vc_allocate(self, cycle: int) -> None:
+        """Grant output VCs to waiting heads (adaptive first, then escape)."""
+        fc = self.network.flow_control
+        cfg = self.network.config
+        requesters = [
+            ivc
+            for port_list in self.inputs
+            for ivc in port_list
+            if ivc.state is VCState.WAITING_VA and cycle >= ivc.stage_ready
+        ]
+        for ivc in self._va_arbiter.rotated(requesters):
+            head = ivc.head_flit()
+            assert head is not None
+            packet = head.packet
+            if ivc.va_first_request is None:
+                ivc.va_first_request = cycle
+            adaptive_ports, escape_port = ivc.route_candidates
+            if escape_port == LOCAL_PORT:
+                self._grant(ivc, packet, LOCAL_PORT, 0, False, False, cycle)
+                continue
+            # Sticky escape: a head continuing along the ring it already
+            # rides stays on the escape path.  Detouring to an adaptive VC
+            # mid-ring and re-injecting later would create a partially
+            # re-entered worm with no reservation budget — the liveness
+            # hole analysed in repro.core.wbfc's module notes.
+            in_ring_continuation = fc.is_in_ring_move(ivc, self.node, escape_port)
+            if not in_ring_continuation and self._try_adaptive(
+                ivc, packet, adaptive_ports, cycle
+            ):
+                continue
+            self._try_escape(ivc, packet, escape_port, cycle)
+
+    def switch_allocate(self, cycle: int) -> None:
+        """Separable input-first switch allocation; one flit per port."""
+        requests: dict[int, list[InputVC]] = {}
+        for in_port, port_list in enumerate(self.inputs):
+            eligible = [
+                ivc
+                for ivc in port_list
+                if ivc.state is VCState.ACTIVE
+                and cycle >= ivc.stage_ready
+                and ivc.flits
+                and self._can_send(ivc)
+            ]
+            pick = self._sa_input_arbiters[in_port].pick(eligible)
+            if pick is not None:
+                requests.setdefault(pick.out_port, []).append(pick)  # type: ignore[arg-type]
+        for out_port, reqs in requests.items():
+            winner = self._sa_output_arbiters[out_port].pick(reqs)
+            if winner is not None:
+                self._send(winner, cycle)
+
+    # -- VA helpers -------------------------------------------------------------
+
+    def _try_adaptive(
+        self, ivc: InputVC, packet: Packet, adaptive_ports: tuple[int, ...], cycle: int
+    ) -> bool:
+        cfg = self.network.config
+        if cfg.num_adaptive_vcs == 0:
+            return False
+        best: tuple[int, int, OutputVC] | None = None
+        best_score = -1
+        for port in adaptive_ports:
+            outs = self.outputs[port]
+            if outs is None:
+                continue
+            for vc in range(cfg.num_escape_vcs, cfg.num_vcs):
+                ovc = outs[vc]
+                if not self._ovc_admits(ovc, packet):
+                    continue
+                # Congestion-aware port selection: prefer the output whose
+                # buffers currently hold the most free credits.
+                score = sum(o.credits for o in outs)
+                if score > best_score:
+                    best, best_score = (port, vc, ovc), score
+                break  # one free VC per port is enough to consider the port
+        if best is None:
+            return False
+        port, vc, _ = best
+        self._grant(ivc, packet, port, vc, False, False, cycle)
+        return True
+
+    def _try_escape(self, ivc: InputVC, packet: Packet, escape_port: int, cycle: int) -> bool:
+        fc = self.network.flow_control
+        outs = self.outputs[escape_port]
+        if outs is None:
+            raise RuntimeError(
+                f"escape route of packet {packet.pid} leaves node {self.node} "
+                f"through unconnected port {escape_port}"
+            )
+        in_ring = fc.is_in_ring_move(ivc, self.node, escape_port)
+        for vc in fc.escape_vc_choices(packet, self.node, escape_port, in_ring):
+            ovc = outs[vc]
+            if not self._ovc_admits(ovc, packet):
+                continue
+            if not fc.allow_escape(packet, self.node, escape_port, ovc, in_ring, cycle):
+                continue
+            self._grant(ivc, packet, escape_port, vc, True, in_ring, cycle)
+            return True
+        return False
+
+    def _ovc_admits(self, ovc: OutputVC, packet: Packet) -> bool:
+        """Downstream admission test per switching mode.
+
+        Atomic wormhole needs an empty, unallocated VC (Equation 3); VCT
+        needs room for the whole packet (Equation 1); non-atomic wormhole
+        needs one free flit slot (Equation 2).  Non-atomic modes still
+        serialize packets per output VC so flits never interleave.
+        """
+        sw = self.network.config.switching
+        if sw is Switching.WORMHOLE_ATOMIC:
+            return ovc.is_free_for_allocation
+        if ovc.allocated_to is not None:
+            return False
+        need = packet.length if sw is Switching.VCT else 1
+        return ovc.credits >= need
+
+    def _grant(
+        self,
+        ivc: InputVC,
+        packet: Packet,
+        out_port: int,
+        out_vc: int,
+        is_escape_hop: bool,
+        in_ring: bool,
+        cycle: int,
+    ) -> None:
+        fc = self.network.flow_control
+        if out_port == LOCAL_PORT:
+            if packet.current_ctx is not None:
+                fc.on_leave_ring(packet, self.node, cycle)
+        else:
+            outs = self.outputs[out_port]
+            assert outs is not None
+            ovc = outs[out_vc]
+            target = ovc.downstream
+            staying = (
+                is_escape_hop
+                and in_ring
+                and packet.current_ctx is not None
+                and target.ring_id == packet.current_ctx.ring_id
+            )
+            if packet.current_ctx is not None and not staying:
+                fc.on_leave_ring(packet, self.node, cycle)
+            ovc.allocated_to = packet
+            if self.network.config.switching is Switching.WORMHOLE_ATOMIC:
+                target.owner = packet
+            if is_escape_hop and target.ring_id is not None:
+                fc.on_acquire(packet, target, in_ring, self.node, cycle)
+        fc.on_grant(packet, self.node, cycle)
+        if ivc.va_first_request is not None:
+            wait = cycle - ivc.va_first_request
+            is_injection_point = ivc.port == LOCAL_PORT or (
+                out_port != LOCAL_PORT and out_port != ivc.port
+            )
+            if wait > 0 and is_injection_point:
+                packet.injection_delay += wait
+        ivc.out_port = out_port
+        ivc.out_vc = out_vc
+        ivc.state = VCState.ACTIVE
+        ivc.stage_ready = cycle + 1
+        self.network.activity["va_grants"] += 1
+
+    # -- SA helpers -------------------------------------------------------------
+
+    def _can_send(self, ivc: InputVC) -> bool:
+        if ivc.out_port == LOCAL_PORT:
+            return True
+        outs = self.outputs[ivc.out_port]  # type: ignore[index]
+        assert outs is not None
+        return outs[ivc.out_vc].has_credit  # type: ignore[index]
+
+    def _send(self, ivc: InputVC, cycle: int) -> None:
+        net = self.network
+        cfg = net.config
+        flit = ivc.pop()
+        if ivc.port == LOCAL_PORT and flit.is_head:
+            flit.packet.injected_cycle = cycle
+            net.flits_in_network += flit.packet.length
+        net.activity["buffer_reads"] += 1
+        net.activity["xbar_traversals"] += 1
+        if ivc.out_port == LOCAL_PORT:
+            net.schedule_ejection(self.node, flit, cycle + cfg.st_link_delay)
+        else:
+            outs = self.outputs[ivc.out_port]  # type: ignore[index]
+            assert outs is not None
+            ovc = outs[ivc.out_vc]  # type: ignore[index]
+            ovc.take_credit()
+            net.schedule_arrival(ovc.downstream, flit, cycle + cfg.st_link_delay)
+            net.activity["link_traversals"] += 1
+        atomic = cfg.switching is Switching.WORMHOLE_ATOMIC
+        if ivc.feeder is not None:
+            net.schedule_credit(
+                ivc.feeder, flit.is_tail and atomic, cycle + cfg.credit_delay
+            )
+        net.flits_moved_this_cycle += 1
+        if not atomic and ivc.port != LOCAL_PORT:
+            net.flow_control.on_slot_freed(ivc, flit)
+        if flit.is_tail:
+            if not atomic and ivc.out_port != LOCAL_PORT:
+                # Non-atomic: the downstream VC accepts the next packet as
+                # soon as this tail has been put on the wire.
+                outs = self.outputs[ivc.out_port]  # type: ignore[index]
+                assert outs is not None
+                outs[ivc.out_vc].allocated_to = None  # type: ignore[index]
+            if ivc.port == LOCAL_PORT:
+                ivc.release()
+            elif atomic:
+                net.flow_control.on_vacate(ivc)
+                ivc.release()
+            else:
+                self._advance_front(ivc, cycle)
+
+    def _advance_front(self, ivc: InputVC, cycle: int) -> None:
+        """Non-atomic modes: hand the buffer to the next buffered packet."""
+        if not ivc.flits:
+            ivc.release()
+            return
+        front = ivc.flits[0]
+        if not front.is_head:
+            raise RuntimeError(
+                f"packet boundary corrupted at {ivc.label()}: "
+                f"{front!r} follows a tail"
+            )
+        ivc.owner = front.packet
+        ivc.state = VCState.ROUTING
+        ivc.stage_ready = cycle + self.network.config.routing_delay
+        ivc.out_port = None
+        ivc.out_vc = None
+        ivc.va_first_request = None

@@ -1,0 +1,28 @@
+"""Switching modes (Section 6's four cases).
+
+- ``WORMHOLE_ATOMIC`` — buffers may be smaller than packets; a VC is
+  allocated to one packet at a time (Equation 3).  The paper's primary
+  case and the default everywhere.
+- ``VCT`` — virtual cut-through: a head flit needs enough downstream space
+  for the *whole* packet (Equation 1) and VCs are non-atomic.  Used by the
+  BFC and CBS baselines.
+- ``WORMHOLE_NONATOMIC`` — buffers smaller than packets *and* multiple
+  packets per VC (Equation 2); used by the flit-level WBFC extension
+  (Section 6 case (d)).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Switching"]
+
+
+class Switching(enum.Enum):
+    WORMHOLE_ATOMIC = "wormhole_atomic"
+    VCT = "vct"
+    WORMHOLE_NONATOMIC = "wormhole_nonatomic"
+
+    @property
+    def is_atomic(self) -> bool:
+        return self is Switching.WORMHOLE_ATOMIC

@@ -1,0 +1,15 @@
+"""Orion-2.0-style area, power and energy models (45 nm, 1.1 V, 2 GHz)."""
+
+from .energy import EnergyBreakdown, dynamic_energy, network_energy
+from .orion import AreaBreakdown, PowerBreakdown, RouterParams, router_area, router_static_power
+
+__all__ = [
+    "RouterParams",
+    "AreaBreakdown",
+    "PowerBreakdown",
+    "router_area",
+    "router_static_power",
+    "EnergyBreakdown",
+    "dynamic_energy",
+    "network_energy",
+]

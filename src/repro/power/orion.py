@@ -1,0 +1,123 @@
+"""Orion-2.0-style analytic router area and power model.
+
+Mirrors the structure Orion exposes: per-component area (buffer, crossbar,
+control logic, plus WBFC's overhead), per-component static power, and
+per-event dynamic energies.  Calibration constants and their provenance
+live in :mod:`repro.power.technology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import technology as tech
+
+__all__ = ["RouterParams", "AreaBreakdown", "PowerBreakdown", "router_area", "router_static_power"]
+
+
+@dataclass(frozen=True)
+class RouterParams:
+    """Physical configuration of one router."""
+
+    num_vcs: int = 3
+    buffer_depth: int = 3
+    flit_bits: int = tech.FLIT_BITS
+    num_ports: int = 5
+    #: True for designs carrying WBFC's Clr/CI fields and wbt wiring.
+    has_wbfc: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_vcs < 1 or self.buffer_depth < 1:
+            raise ValueError("router needs at least one VC and one flit of depth")
+        if self.flit_bits < 1 or self.num_ports < 2:
+            raise ValueError("implausible flit width or port count")
+
+    @property
+    def buffer_scale(self) -> float:
+        """Buffer size relative to the calibration point (3 flits, 128 b)."""
+        return (self.buffer_depth / tech.REFERENCE_DEPTH) * (
+            self.flit_bits / tech.FLIT_BITS
+        )
+
+    @property
+    def port_scale(self) -> float:
+        """Ports relative to the 5-port 2D-torus calibration router."""
+        return self.num_ports / 5
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas in um^2."""
+
+    buffer: float
+    xbar: float
+    ctrl: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        return self.buffer + self.xbar + self.ctrl + self.overhead
+
+    def shares(self) -> dict[str, float]:
+        t = self.total
+        return {
+            "buffer": self.buffer / t,
+            "xbar": self.xbar / t,
+            "ctrl": self.ctrl / t,
+            "overhead": self.overhead / t,
+        }
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Static power in watts by component."""
+
+    buffer_static: float
+    ctrl_static: float
+    xbar_static: float
+
+    @property
+    def total_static(self) -> float:
+        return self.buffer_static + self.ctrl_static + self.xbar_static
+
+
+def _ctrl_units(num_vcs: int) -> float:
+    return tech.CTRL_AREA_QUAD * num_vcs**2 + tech.CTRL_AREA_LIN * num_vcs
+
+
+def router_area(params: RouterParams) -> AreaBreakdown:
+    """Area of one router, by component."""
+    unit = tech.AREA_UNIT_UM2
+    buffer = (
+        tech.BUFFER_AREA_UNITS_PER_VC
+        * params.num_vcs
+        * params.buffer_scale
+        * params.port_scale
+        * unit
+    )
+    xbar = (
+        tech.XBAR_AREA_UNITS
+        * (params.flit_bits / tech.FLIT_BITS)
+        * params.port_scale**2
+        * unit
+    )
+    ctrl = _ctrl_units(params.num_vcs) * params.port_scale * unit
+    overhead = tech.WBFC_OVERHEAD_UNITS * unit if params.has_wbfc else 0.0
+    return AreaBreakdown(buffer=buffer, xbar=xbar, ctrl=ctrl, overhead=overhead)
+
+
+def router_static_power(params: RouterParams) -> PowerBreakdown:
+    """Leakage power of one router, by component."""
+    buffer = (
+        tech.BUFFER_STATIC_W_PER_VC
+        * params.num_vcs
+        * params.buffer_scale
+        * params.port_scale
+    )
+    ctrl = tech.CTRL_STATIC_W_PER_UNIT * _ctrl_units(params.num_vcs) * params.port_scale
+    if params.has_wbfc:
+        ctrl += tech.WBFC_OVERHEAD_STATIC_W
+    xbar = (
+        tech.XBAR_STATIC_W * (params.flit_bits / tech.FLIT_BITS) * params.port_scale**2
+    )
+    return PowerBreakdown(buffer_static=buffer, ctrl_static=ctrl, xbar_static=xbar)

@@ -1,0 +1,14 @@
+"""Routing functions: DOR, Duato minimal adaptive, ring routing."""
+
+from .base import RoutingFunction
+from .dor import DimensionOrderRouting
+from .duato import DuatoAdaptiveRouting
+from .ring_routing import HierarchicalRingRouting, RingRouting
+
+__all__ = [
+    "RoutingFunction",
+    "DimensionOrderRouting",
+    "DuatoAdaptiveRouting",
+    "RingRouting",
+    "HierarchicalRingRouting",
+]

@@ -1,0 +1,44 @@
+"""Routing-function interface.
+
+A routing function answers, per hop: which output ports are *productive*
+(move the packet closer to its destination), and which single port the
+deterministic escape path uses.  Under Duato's protocol the adaptive VCs may
+use any productive port while the escape VCs are restricted to the
+deterministic port, whose deadlock freedom is guaranteed by the flow-control
+scheme (WBFC or Dateline) together with dimension-order routing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..network.flit import Packet
+from ..topology.base import LOCAL_PORT, Topology
+
+__all__ = ["RoutingFunction", "LOCAL_PORT"]
+
+
+class RoutingFunction(ABC):
+    """Maps (current node, packet) to candidate output ports."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @abstractmethod
+    def escape_port(self, node: int, packet: Packet) -> int:
+        """The deterministic (escape-path) output port at ``node``.
+
+        Returns :data:`LOCAL_PORT` when the packet is at its destination.
+        """
+
+    def adaptive_ports(self, node: int, packet: Packet) -> tuple[int, ...]:
+        """All productive output ports at ``node`` (minimal routing).
+
+        Deterministic routing functions return just the escape port, so a
+        network with zero adaptive VCs needs no special casing.
+        """
+        return (self.escape_port(node, packet),)
+
+    def route(self, node: int, packet: Packet) -> tuple[tuple[int, ...], int]:
+        """Convenience: ``(adaptive candidate ports, escape port)``."""
+        return self.adaptive_ports(node, packet), self.escape_port(node, packet)

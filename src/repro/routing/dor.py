@@ -1,0 +1,34 @@
+"""Dimension-order routing (DOR) for tori and meshes.
+
+DOR resolves each dimension completely, in increasing dimension index,
+before moving to the next.  It eliminates cyclic dependences *across*
+dimensions; the remaining cycles live inside each dimension's rings and are
+exactly what Dateline or WBFC must break.
+"""
+
+from __future__ import annotations
+
+from ..network.flit import Packet
+from ..topology.base import LOCAL_PORT
+from ..topology.mesh import Mesh
+from ..topology.torus import Torus, port_index
+from .base import RoutingFunction
+
+__all__ = ["DimensionOrderRouting"]
+
+
+class DimensionOrderRouting(RoutingFunction):
+    """Deterministic x-then-y(-then-z...) minimal routing."""
+
+    def __init__(self, topology: Torus | Mesh):
+        if not isinstance(topology, (Torus, Mesh)):
+            raise TypeError("DOR requires a torus or mesh topology")
+        super().__init__(topology)
+
+    def escape_port(self, node: int, packet: Packet) -> int:
+        topo = self.topology
+        for dim in range(topo.num_dims):
+            offset = topo.dimension_offset(node, packet.dst, dim)
+            if offset != 0:
+                return port_index(dim, +1 if offset > 0 else -1)
+        return LOCAL_PORT

@@ -1,0 +1,43 @@
+"""Minimal fully-adaptive routing via Duato's protocol.
+
+Adaptive VCs may take *any* productive port (any dimension still carrying a
+nonzero offset, in its minimal direction); the escape VCs follow
+dimension-order routing.  Deadlock freedom follows from Duato's theory as
+long as the escape sub-network (DOR + Dateline or DOR + WBFC) is itself
+deadlock-free and packets can always fall back to it.
+"""
+
+from __future__ import annotations
+
+from ..network.flit import Packet
+from ..topology.base import LOCAL_PORT
+from ..topology.mesh import Mesh
+from ..topology.torus import Torus, port_index
+from .base import RoutingFunction
+from .dor import DimensionOrderRouting
+
+__all__ = ["DuatoAdaptiveRouting"]
+
+
+class DuatoAdaptiveRouting(RoutingFunction):
+    """Minimal adaptive candidates plus a DOR escape path."""
+
+    def __init__(self, topology: Torus | Mesh):
+        if not isinstance(topology, (Torus, Mesh)):
+            raise TypeError("Duato routing requires a torus or mesh topology")
+        super().__init__(topology)
+        self._dor = DimensionOrderRouting(topology)
+
+    def escape_port(self, node: int, packet: Packet) -> int:
+        return self._dor.escape_port(node, packet)
+
+    def adaptive_ports(self, node: int, packet: Packet) -> tuple[int, ...]:
+        topo = self.topology
+        ports = []
+        for dim in range(topo.num_dims):
+            offset = topo.dimension_offset(node, packet.dst, dim)
+            if offset != 0:
+                ports.append(port_index(dim, +1 if offset > 0 else -1))
+        if not ports:
+            return (LOCAL_PORT,)
+        return tuple(ports)

@@ -1,0 +1,55 @@
+"""Routing for standalone and hierarchical ring topologies.
+
+Rings have a unique minimal path per direction, so routing is trivial; the
+interesting part is the hierarchical case, where a packet rides its local
+ring to the hub, the global ring to the destination's hub, and the final
+local ring to the destination — three WBFC "injections" in sequence.
+"""
+
+from __future__ import annotations
+
+from ..network.flit import Packet
+from ..topology.base import LOCAL_PORT
+from ..topology.hierarchical_ring import HR_GLOBAL_PORT, HR_LOCAL_PORT, HierarchicalRing
+from ..topology.ring import RING_BWD_PORT, RING_FWD_PORT, BidirectionalRing, UnidirectionalRing
+from .base import RoutingFunction
+
+__all__ = ["RingRouting", "HierarchicalRingRouting"]
+
+
+class RingRouting(RoutingFunction):
+    """Minimal routing on a unidirectional or bidirectional ring."""
+
+    def __init__(self, topology: UnidirectionalRing | BidirectionalRing):
+        if not isinstance(topology, (UnidirectionalRing, BidirectionalRing)):
+            raise TypeError("RingRouting requires a ring topology")
+        super().__init__(topology)
+
+    def escape_port(self, node: int, packet: Packet) -> int:
+        if node == packet.dst:
+            return LOCAL_PORT
+        topo = self.topology
+        if isinstance(topo, UnidirectionalRing):
+            return RING_FWD_PORT
+        fwd = (packet.dst - node) % topo.size
+        return RING_FWD_PORT if fwd <= topo.size - fwd else RING_BWD_PORT
+
+
+class HierarchicalRingRouting(RoutingFunction):
+    """Local-ring / global-ring / local-ring deterministic routing."""
+
+    def __init__(self, topology: HierarchicalRing):
+        if not isinstance(topology, HierarchicalRing):
+            raise TypeError("HierarchicalRingRouting requires a HierarchicalRing")
+        super().__init__(topology)
+
+    def escape_port(self, node: int, packet: Packet) -> int:
+        if node == packet.dst:
+            return LOCAL_PORT
+        topo: HierarchicalRing = self.topology
+        here_ring, dest_ring = topo.ring_of(node), topo.ring_of(packet.dst)
+        if here_ring == dest_ring:
+            return HR_LOCAL_PORT
+        if topo.is_hub(node):
+            return HR_GLOBAL_PORT
+        return HR_LOCAL_PORT

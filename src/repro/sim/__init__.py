@@ -1,0 +1,25 @@
+"""Simulation core: configuration, cycle engine, deadlock watchdog, RNG."""
+
+from .config import LONG_PACKET_FLITS, SHORT_PACKET_FLITS, SimulationConfig
+from .deadlock import DeadlockError, Watchdog
+from .engine import Simulator, Workload
+from .diagnostics import blocked_heads, format_blocked_heads
+from .rng import make_rng, spawn_rng
+from .visualize import RingTimeline, render_ring, ring_state
+
+__all__ = [
+    "SimulationConfig",
+    "SHORT_PACKET_FLITS",
+    "LONG_PACKET_FLITS",
+    "Simulator",
+    "Workload",
+    "Watchdog",
+    "DeadlockError",
+    "make_rng",
+    "spawn_rng",
+    "blocked_heads",
+    "format_blocked_heads",
+    "ring_state",
+    "render_ring",
+    "RingTimeline",
+]

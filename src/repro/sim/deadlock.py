@@ -1,0 +1,63 @@
+"""Deadlock and starvation watchdogs.
+
+The watchdog is both an experimental instrument (the *unrestricted* flow
+control must trip it on a torus; WBFC and Dateline must never trip it) and
+a test oracle for every integration test in the suite.
+
+Deadlock: flits are buffered inside the network but nothing has moved for
+``deadlock_window`` consecutive cycles.  Starvation: some packet has been
+waiting at an injection point for more than ``starvation_window`` cycles
+while the network keeps moving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+
+__all__ = ["DeadlockError", "Watchdog"]
+
+
+class DeadlockError(RuntimeError):
+    """Raised when the network provably stopped making progress."""
+
+
+@dataclass
+class Watchdog:
+    """Progress monitor evaluated once per simulated cycle."""
+
+    network: "Network"
+    deadlock_window: int = 1000
+    starvation_window: int = 20000
+    raise_on_deadlock: bool = True
+    _idle_cycles: int = field(default=0, init=False)
+    deadlock_detected_at: int | None = field(default=None, init=False)
+    max_idle_streak: int = field(default=0, init=False)
+
+    def observe(self, cycle: int) -> None:
+        net = self.network
+        if net.flits_moved_this_cycle > 0:
+            self._idle_cycles = 0
+            return
+        snapshot = net.occupancy_snapshot()
+        if snapshot["buffered"] == 0 and snapshot["backlog"] == 0:
+            self._idle_cycles = 0
+            return
+        self._idle_cycles += 1
+        self.max_idle_streak = max(self.max_idle_streak, self._idle_cycles)
+        if self._idle_cycles >= self.deadlock_window:
+            if self.deadlock_detected_at is None:
+                self.deadlock_detected_at = cycle
+            if self.raise_on_deadlock:
+                raise DeadlockError(
+                    f"no flit moved for {self._idle_cycles} cycles at cycle "
+                    f"{cycle} with {snapshot['buffered']} flits buffered "
+                    f"({net.flow_control.name} flow control)"
+                )
+
+    @property
+    def deadlocked(self) -> bool:
+        return self.deadlock_detected_at is not None

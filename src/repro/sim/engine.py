@@ -1,0 +1,87 @@
+"""Cycle-driven simulation engine.
+
+Runs a :class:`~repro.network.network.Network` against a workload (any
+object exposing ``step(cycle, network)``), with an optional deadlock
+watchdog and per-cycle listeners.  All experiments and tests drive their
+simulations through this one loop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Protocol
+
+from .deadlock import Watchdog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+
+__all__ = ["Workload", "Simulator"]
+
+
+class Workload(Protocol):
+    """Anything that injects packets into the network over time."""
+
+    def step(self, cycle: int, network: "Network") -> None:  # pragma: no cover
+        """Offer this cycle's new packets to the NICs."""
+        ...
+
+
+class Simulator:
+    """Drives the per-cycle phase schedule."""
+
+    def __init__(
+        self,
+        network: "Network",
+        workload: Workload | None = None,
+        *,
+        watchdog: Watchdog | None = None,
+    ):
+        self.network = network
+        self.workload = workload
+        self.watchdog = watchdog if watchdog is not None else Watchdog(network)
+        self.cycle = 0
+        #: Called as ``fn(cycle)`` after each cycle (metrics hooks).
+        self.cycle_listeners: list[Callable[[int], None]] = []
+
+    def run(self, cycles: int) -> int:
+        """Advance the simulation by ``cycles``; returns the current cycle."""
+        end = self.cycle + cycles
+        while self.cycle < end:
+            self._tick()
+        return self.cycle
+
+    def run_until(self, predicate: Callable[[], bool], max_cycles: int) -> bool:
+        """Run until ``predicate()`` holds; False if ``max_cycles`` elapsed."""
+        deadline = self.cycle + max_cycles
+        while self.cycle < deadline:
+            if predicate():
+                return True
+            self._tick()
+        return predicate()
+
+    def drain(self, max_cycles: int = 200_000) -> bool:
+        """Run until the network is completely empty of flits and backlog."""
+        def empty() -> bool:
+            snap = self.network.occupancy_snapshot()
+            return (
+                snap["buffered"] == 0
+                and snap["backlog"] == 0
+                and snap["in_network"] == 0
+            )
+
+        return self.run_until(empty, max_cycles)
+
+    def _tick(self) -> None:
+        cycle = self.cycle
+        network = self.network
+        network.begin_cycle(cycle)
+        if self.workload is not None:
+            self.workload.step(cycle, network)
+            # Packets offered this cycle become eligible immediately.
+            for nic in network.nics:
+                nic.load(cycle)
+        network.run_router_phases(cycle)
+        self.watchdog.observe(cycle)
+        for listener in self.cycle_listeners:
+            listener(cycle)
+        self.cycle = cycle + 1

@@ -1,0 +1,29 @@
+"""Seeded random-number helpers.
+
+Every stochastic component in the simulator (traffic generators, arbiters
+that randomize tie-breaks, workload models) draws from a
+:class:`numpy.random.Generator` derived from a single experiment seed, so a
+simulation run is exactly reproducible from its
+:class:`~repro.sim.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rng"]
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """Create the root generator for an experiment from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator for a named sub-stream.
+
+    ``stream`` identifies the consumer (e.g. one generator per node) so that
+    adding a new consumer does not perturb the draws seen by existing ones.
+    """
+    seed_seq = np.random.SeedSequence(entropy=int(rng.integers(0, 2**31)), spawn_key=(stream,))
+    return np.random.default_rng(seed_seq)

@@ -1,0 +1,89 @@
+"""ASCII inspection of ring and network state.
+
+The worm-bubble machinery is easiest to understand watching a ring evolve:
+one character per buffer (``W``/``G``/``B`` for empty bubbles by color,
+``o`` for buffers holding flits, ``a`` for allocated-but-empty gaps inside
+a stretched worm).  These helpers power the examples and debugging
+sessions and double as cheap golden-state assertions in tests.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..core.colors import WBColor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.buffers import InputVC
+    from ..network.network import Network
+
+__all__ = ["buffer_glyph", "ring_state", "render_ring", "RingTimeline"]
+
+_GLYPHS = {WBColor.WHITE: "W", WBColor.GRAY: "G", WBColor.BLACK: "B"}
+
+
+def buffer_glyph(ivc: "InputVC") -> str:
+    """One-character summary of a ring buffer."""
+    if ivc.flits:
+        return "o"
+    if ivc.owner is not None:
+        return "a"
+    return _GLYPHS[ivc.color]
+
+
+def ring_state(network: "Network", ring_id: str) -> str:
+    """The ring's buffers in traversal order, one glyph each."""
+    fc = network.flow_control
+    buffers = getattr(fc, "ring_buffers", {}).get(ring_id)
+    if buffers is None:
+        raise KeyError(f"unknown ring {ring_id!r}")
+    return "".join(buffer_glyph(b) for b in buffers)
+
+
+def render_ring(network: "Network", ring_id: str) -> str:
+    """Multi-line ring dump with occupants and counters."""
+    fc = network.flow_control
+    buffers = getattr(fc, "ring_buffers", {}).get(ring_id)
+    if buffers is None:
+        raise KeyError(f"unknown ring {ring_id!r}")
+    lines = [f"ring {ring_id}: {ring_state(network, ring_id)}"]
+    for pos, ivc in enumerate(buffers):
+        occupants = ",".join(str(f.packet.pid) for f in ivc.flits) or "-"
+        ci = getattr(fc, "ci", {}).get((ivc.node, ring_id), "")
+        lines.append(
+            f"  [{pos}] {ivc.label():<12} {buffer_glyph(ivc)} "
+            f"flits={occupants:<12} ci@{ivc.node}={ci}"
+        )
+    return "\n".join(lines)
+
+
+class RingTimeline:
+    """Per-cycle recorder of one ring's glyph string.
+
+    Attach as a simulator cycle listener::
+
+        timeline = RingTimeline(net, "d0+[0]")
+        sim.cycle_listeners.append(timeline)
+        ...
+        print(timeline.render(last=40))
+    """
+
+    def __init__(self, network: "Network", ring_id: str):
+        self.network = network
+        self.ring_id = ring_id
+        self.frames: list[tuple[int, str]] = []
+
+    def __call__(self, cycle: int) -> None:
+        state = ring_state(self.network, self.ring_id)
+        if not self.frames or self.frames[-1][1] != state:
+            self.frames.append((cycle, state))
+
+    def render(self, last: int = 50) -> str:
+        lines = [f"ring {self.ring_id} timeline (changed frames only):"]
+        lines.extend(f"  cycle {c:>6}: {s}" for c, s in self.frames[-last:])
+        return "\n".join(lines)
+
+    @property
+    def ever_all_occupied(self) -> bool:
+        """Did the ring ever have zero empty buffers?"""
+        return any(all(ch in "oa" for ch in s) for _, s in self.frames)

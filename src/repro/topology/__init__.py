@@ -1,0 +1,26 @@
+"""Network topologies: torus, mesh, rings, hierarchical rings."""
+
+from .base import LOCAL_PORT, Ring, RingHop, Topology
+from .hierarchical_ring import HR_GLOBAL_PORT, HR_LOCAL_PORT, HierarchicalRing
+from .mesh import Mesh
+from .ring import RING_BWD_PORT, RING_FWD_PORT, BidirectionalRing, UnidirectionalRing
+from .torus import Torus, port_dim, port_dir, port_index
+
+__all__ = [
+    "LOCAL_PORT",
+    "Ring",
+    "RingHop",
+    "Topology",
+    "Torus",
+    "Mesh",
+    "UnidirectionalRing",
+    "BidirectionalRing",
+    "HierarchicalRing",
+    "port_index",
+    "port_dim",
+    "port_dir",
+    "RING_FWD_PORT",
+    "RING_BWD_PORT",
+    "HR_LOCAL_PORT",
+    "HR_GLOBAL_PORT",
+]

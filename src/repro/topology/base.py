@@ -1,0 +1,116 @@
+"""Topology abstractions.
+
+A topology describes routers, directed channels between them, and — because
+worm-bubble flow control reasons about *unidirectional rings* — the set of
+rings embedded in the channel graph.
+
+Port convention
+---------------
+Every router exposes ``num_ports`` ports.  Port ``0`` is always the LOCAL
+port (NIC injection on the input side, ejection on the output side).  An
+input port is labelled by the *travel direction* of the traffic it receives:
+a flit moving in direction ``(dim, +)`` leaves its router through output
+port ``(dim, +)`` and arrives at the downstream router's **input** port
+``(dim, +)``.  This makes ring bookkeeping uniform: all buffers of a
+unidirectional ring share one port index.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = ["LOCAL_PORT", "RingHop", "Ring", "Topology"]
+
+#: Index of the local (NIC) port on every router.
+LOCAL_PORT = 0
+
+
+@dataclass(frozen=True)
+class RingHop:
+    """One router's membership in a unidirectional ring.
+
+    ``in_port`` is the input port whose buffers belong to the ring;
+    ``out_port`` is the output port that continues the ring.
+    """
+
+    node: int
+    in_port: int
+    out_port: int
+
+
+@dataclass(frozen=True)
+class Ring:
+    """An ordered unidirectional ring of channels.
+
+    ``hops`` is listed in traversal order: traffic leaves ``hops[i]`` through
+    ``hops[i].out_port`` and enters ``hops[(i + 1) % len(hops)].in_port``.
+    """
+
+    ring_id: str
+    hops: tuple[RingHop, ...]
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def index_of(self, node: int) -> int:
+        """Position of ``node`` in traversal order (each node appears once)."""
+        for i, hop in enumerate(self.hops):
+            if hop.node == node:
+                return i
+        raise KeyError(f"node {node} not in ring {self.ring_id}")
+
+
+class Topology(ABC):
+    """Base class for all network shapes."""
+
+    num_nodes: int
+    num_ports: int
+
+    @abstractmethod
+    def neighbor(self, node: int, out_port: int) -> tuple[int, int] | None:
+        """Downstream ``(node, in_port)`` of ``node``'s ``out_port``.
+
+        Returns ``None`` if the port is unconnected (mesh edge, local port).
+        """
+
+    @abstractmethod
+    def rings(self) -> tuple[Ring, ...]:
+        """All unidirectional rings embedded in the topology."""
+
+    @abstractmethod
+    def min_distance(self, src: int, dst: int) -> int:
+        """Minimal hop count between two nodes."""
+
+    def port_label(self, port: int) -> str:
+        """Human-readable name of a port, for logs and error messages."""
+        return "local" if port == LOCAL_PORT else f"p{port}"
+
+    def channels(self) -> list[tuple[int, int, int, int]]:
+        """All directed channels as ``(src, out_port, dst, in_port)``."""
+        result = []
+        for node in range(self.num_nodes):
+            for port in range(1, self.num_ports):
+                nbr = self.neighbor(node, port)
+                if nbr is not None:
+                    result.append((node, port, nbr[0], nbr[1]))
+        return result
+
+    def validate(self) -> None:
+        """Sanity-check wiring: every channel's endpoint agrees on its label.
+
+        Raises ``AssertionError`` on an inconsistent topology; used by tests
+        and by the network constructor.
+        """
+        for src, out_port, dst, in_port in self.channels():
+            assert 0 <= dst < self.num_nodes, f"bad neighbor {dst}"
+            assert 1 <= in_port < self.num_ports, f"bad in_port {in_port}"
+            assert src != dst or self.num_nodes == 1, "self-loop channel"
+        for ring in self.rings():
+            assert len(ring) >= 2, f"degenerate ring {ring.ring_id}"
+            for i, hop in enumerate(ring.hops):
+                nxt = ring.hops[(i + 1) % len(ring)]
+                nbr = self.neighbor(hop.node, hop.out_port)
+                assert nbr == (nxt.node, nxt.in_port), (
+                    f"ring {ring.ring_id} broken between {hop} and {nxt}"
+                )

@@ -1,0 +1,103 @@
+"""Two-level hierarchical ring topology.
+
+One of the Section-6 applications of WBFC: hierarchical rings [Ravindran &
+Stumm, HPCA'97] are built from local rings bridged by a global ring, and
+each constituent ring can use WBFC to stay deadlock-free under wormhole
+switching.  Inter-ring transfers are injections in WBFC's sense, and the
+ring-to-ring dependency graph is a tree, so per-ring deadlock freedom
+composes into whole-network deadlock freedom.
+
+Layout: ``num_local_rings`` unidirectional local rings of ``local_size``
+nodes each.  Node ``ring*local_size + pos``; position 0 of every local ring
+is its *hub*, and the hubs form one unidirectional global ring.
+"""
+
+from __future__ import annotations
+
+from .base import LOCAL_PORT, Ring, RingHop, Topology
+
+__all__ = ["HierarchicalRing", "HR_LOCAL_PORT", "HR_GLOBAL_PORT"]
+
+#: Port carrying local-ring traffic.
+HR_LOCAL_PORT = 1
+#: Port carrying global-ring traffic (wired only at hub nodes).
+HR_GLOBAL_PORT = 2
+
+
+class HierarchicalRing(Topology):
+    """Local unidirectional rings bridged by one global unidirectional ring."""
+
+    def __init__(self, num_local_rings: int, local_size: int):
+        if num_local_rings < 2:
+            raise ValueError("need at least 2 local rings")
+        if local_size < 2:
+            raise ValueError("local rings need at least 2 nodes")
+        self.num_local_rings = num_local_rings
+        self.local_size = local_size
+        self.num_nodes = num_local_rings * local_size
+        self.num_ports = 3
+        self._rings = self._build_rings()
+
+    # -- coordinate helpers -------------------------------------------------
+
+    def ring_of(self, node: int) -> int:
+        """Index of the local ring a node belongs to."""
+        return node // self.local_size
+
+    def pos_of(self, node: int) -> int:
+        """Position of a node within its local ring (0 is the hub)."""
+        return node % self.local_size
+
+    def hub_of(self, ring: int) -> int:
+        """Hub node of local ring ``ring``."""
+        return ring * self.local_size
+
+    def is_hub(self, node: int) -> bool:
+        return self.pos_of(node) == 0
+
+    # -- Topology interface -------------------------------------------------
+
+    def neighbor(self, node: int, out_port: int) -> tuple[int, int] | None:
+        if out_port == HR_LOCAL_PORT:
+            ring, pos = self.ring_of(node), self.pos_of(node)
+            return ring * self.local_size + (pos + 1) % self.local_size, HR_LOCAL_PORT
+        if out_port == HR_GLOBAL_PORT and self.is_hub(node):
+            ring = self.ring_of(node)
+            return self.hub_of((ring + 1) % self.num_local_rings), HR_GLOBAL_PORT
+        return None
+
+    def rings(self) -> tuple[Ring, ...]:
+        return self._rings
+
+    def min_distance(self, src: int, dst: int) -> int:
+        sr, sp = self.ring_of(src), self.pos_of(src)
+        dr, dp = self.ring_of(dst), self.pos_of(dst)
+        if sr == dr:
+            return (dp - sp) % self.local_size
+        to_hub = (-sp) % self.local_size
+        across = (dr - sr) % self.num_local_rings
+        return to_hub + across + dp
+
+    def port_label(self, port: int) -> str:
+        if port == LOCAL_PORT:
+            return "local"
+        return "lring" if port == HR_LOCAL_PORT else "gring"
+
+    def _build_rings(self) -> tuple[Ring, ...]:
+        rings = []
+        for r in range(self.num_local_rings):
+            hops = tuple(
+                RingHop(
+                    node=r * self.local_size + i,
+                    in_port=HR_LOCAL_PORT,
+                    out_port=HR_LOCAL_PORT,
+                )
+                for i in range(self.local_size)
+            )
+            rings.append(Ring(ring_id=f"local{r}", hops=hops))
+        global_hops = tuple(
+            RingHop(node=self.hub_of(r), in_port=HR_GLOBAL_PORT, out_port=HR_GLOBAL_PORT)
+            for r in range(self.num_local_rings)
+        )
+        rings.append(Ring(ring_id="global", hops=global_hops))
+        return tuple(rings)

@@ -1,0 +1,69 @@
+"""2D/nD mesh topology (torus without wraparound links).
+
+The mesh has no embedded rings, so dimension-order routing alone is
+deadlock-free on it.  It serves as a control topology in tests: flow-control
+schemes must not change behaviour where no ring exists.
+"""
+
+from __future__ import annotations
+
+from .base import LOCAL_PORT, Ring, Topology
+from .torus import port_dim, port_dir
+
+__all__ = ["Mesh"]
+
+
+class Mesh(Topology):
+    """An n-dimensional mesh with per-dimension radix."""
+
+    def __init__(self, radices: tuple[int, ...] | list[int]):
+        radices = tuple(int(k) for k in radices)
+        if not radices or any(k < 2 for k in radices):
+            raise ValueError("mesh needs at least one dimension of radix >= 2")
+        self.radices = radices
+        self.num_dims = len(radices)
+        self.num_nodes = 1
+        for k in radices:
+            self.num_nodes *= k
+        self.num_ports = 1 + 2 * self.num_dims
+        self._strides = []
+        stride = 1
+        for k in radices:
+            self._strides.append(stride)
+            stride *= k
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        out = []
+        for k in self.radices:
+            out.append(node % k)
+            node //= k
+        return tuple(out)
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        return sum(c * s for c, s in zip(coords, self._strides))
+
+    def neighbor(self, node: int, out_port: int) -> tuple[int, int] | None:
+        if out_port == LOCAL_PORT or out_port >= self.num_ports:
+            return None
+        dim, direction = port_dim(out_port), port_dir(out_port)
+        c = list(self.coords(node))
+        c[dim] += direction
+        if not 0 <= c[dim] < self.radices[dim]:
+            return None
+        return self.node_at(tuple(c)), out_port
+
+    def rings(self) -> tuple[Ring, ...]:
+        return ()
+
+    def min_distance(self, src: int, dst: int) -> int:
+        return sum(abs(a - b) for a, b in zip(self.coords(src), self.coords(dst)))
+
+    def port_label(self, port: int) -> str:
+        if port == LOCAL_PORT:
+            return "local"
+        sign = "+" if port_dir(port) > 0 else "-"
+        return f"d{port_dim(port)}{sign}"
+
+    def dimension_offset(self, src: int, dst: int, dim: int) -> int:
+        """Signed offset along ``dim``; meshes have a unique minimal offset."""
+        return self.coords(dst)[dim] - self.coords(src)[dim]

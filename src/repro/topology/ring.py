@@ -1,0 +1,87 @@
+"""Ring topologies.
+
+Section 6 of the paper notes that WBFC applies to *any* wormhole topology
+with embedded rings, not just tori.  These standalone rings exercise that
+claim directly and are also the smallest topologies on which the paper's
+walk-through figures (Figures 2-8) can be replayed literally.
+"""
+
+from __future__ import annotations
+
+from .base import LOCAL_PORT, Ring, RingHop, Topology
+
+__all__ = ["UnidirectionalRing", "BidirectionalRing", "RING_FWD_PORT", "RING_BWD_PORT"]
+
+#: Output/input port of the forward (clockwise) ring direction.
+RING_FWD_PORT = 1
+#: Output/input port of the backward direction (bidirectional rings only).
+RING_BWD_PORT = 2
+
+
+class UnidirectionalRing(Topology):
+    """k nodes connected in a single one-way cycle."""
+
+    def __init__(self, size: int):
+        if size < 2:
+            raise ValueError("ring needs at least 2 nodes")
+        self.size = size
+        self.num_nodes = size
+        self.num_ports = 2
+        hops = tuple(
+            RingHop(node=i, in_port=RING_FWD_PORT, out_port=RING_FWD_PORT)
+            for i in range(size)
+        )
+        self._rings = (Ring(ring_id="ring+", hops=hops),)
+
+    def neighbor(self, node: int, out_port: int) -> tuple[int, int] | None:
+        if out_port != RING_FWD_PORT:
+            return None
+        return (node + 1) % self.size, RING_FWD_PORT
+
+    def rings(self) -> tuple[Ring, ...]:
+        return self._rings
+
+    def min_distance(self, src: int, dst: int) -> int:
+        return (dst - src) % self.size
+
+    def port_label(self, port: int) -> str:
+        return "local" if port == LOCAL_PORT else "fwd"
+
+
+class BidirectionalRing(Topology):
+    """k nodes connected in two counter-rotating cycles."""
+
+    def __init__(self, size: int):
+        if size < 2:
+            raise ValueError("ring needs at least 2 nodes")
+        self.size = size
+        self.num_nodes = size
+        self.num_ports = 3
+        fwd = tuple(
+            RingHop(node=i, in_port=RING_FWD_PORT, out_port=RING_FWD_PORT)
+            for i in range(size)
+        )
+        bwd = tuple(
+            RingHop(node=(size - i) % size, in_port=RING_BWD_PORT, out_port=RING_BWD_PORT)
+            for i in range(size)
+        )
+        self._rings = (Ring(ring_id="ring+", hops=fwd), Ring(ring_id="ring-", hops=bwd))
+
+    def neighbor(self, node: int, out_port: int) -> tuple[int, int] | None:
+        if out_port == RING_FWD_PORT:
+            return (node + 1) % self.size, RING_FWD_PORT
+        if out_port == RING_BWD_PORT:
+            return (node - 1) % self.size, RING_BWD_PORT
+        return None
+
+    def rings(self) -> tuple[Ring, ...]:
+        return self._rings
+
+    def min_distance(self, src: int, dst: int) -> int:
+        fwd = (dst - src) % self.size
+        return min(fwd, self.size - fwd)
+
+    def port_label(self, port: int) -> str:
+        if port == LOCAL_PORT:
+            return "local"
+        return "fwd" if port == RING_FWD_PORT else "bwd"

@@ -1,0 +1,132 @@
+"""k-ary n-cube (torus) topology.
+
+The torus is the paper's primary target: its wraparound links create a
+unidirectional ring per dimension, per direction, per line of routers, and
+those rings are exactly where deadlock can form and where WBFC operates.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .base import LOCAL_PORT, Ring, RingHop, Topology
+
+__all__ = ["Torus", "port_index", "port_dim", "port_dir"]
+
+
+def port_index(dim: int, direction: int) -> int:
+    """Port number for travel direction ``(dim, direction)``; direction ±1."""
+    return 1 + 2 * dim + (0 if direction > 0 else 1)
+
+
+def port_dim(port: int) -> int:
+    """Dimension a (non-local) port travels along."""
+    return (port - 1) // 2
+
+
+def port_dir(port: int) -> int:
+    """Travel direction (+1 or -1) of a non-local port."""
+    return +1 if (port - 1) % 2 == 0 else -1
+
+
+class Torus(Topology):
+    """A k-ary n-cube with per-dimension radix.
+
+    Nodes are numbered with dimension 0 fastest-varying:
+    ``node = c0 + c1*k0 + c2*k0*k1 + ...``.
+    """
+
+    def __init__(self, radices: tuple[int, ...] | list[int]):
+        radices = tuple(int(k) for k in radices)
+        if not radices or any(k < 2 for k in radices):
+            raise ValueError("torus needs at least one dimension of radix >= 2")
+        self.radices = radices
+        self.num_dims = len(radices)
+        self.num_nodes = 1
+        for k in radices:
+            self.num_nodes *= k
+        self.num_ports = 1 + 2 * self.num_dims
+        self._strides = []
+        stride = 1
+        for k in radices:
+            self._strides.append(stride)
+            stride *= k
+        self._rings = self._build_rings()
+
+    # -- coordinate helpers -------------------------------------------------
+
+    def coords(self, node: int) -> tuple[int, ...]:
+        """Per-dimension coordinates of a node id."""
+        out = []
+        for k in self.radices:
+            out.append(node % k)
+            node //= k
+        return tuple(out)
+
+    def node_at(self, coords: tuple[int, ...]) -> int:
+        """Node id of a coordinate tuple."""
+        return sum(c * s for c, s in zip(coords, self._strides))
+
+    # -- Topology interface -------------------------------------------------
+
+    def neighbor(self, node: int, out_port: int) -> tuple[int, int] | None:
+        if out_port == LOCAL_PORT or out_port >= self.num_ports:
+            return None
+        dim, direction = port_dim(out_port), port_dir(out_port)
+        c = list(self.coords(node))
+        c[dim] = (c[dim] + direction) % self.radices[dim]
+        return self.node_at(tuple(c)), out_port
+
+    def rings(self) -> tuple[Ring, ...]:
+        return self._rings
+
+    def min_distance(self, src: int, dst: int) -> int:
+        total = 0
+        for cs, cd, k in zip(self.coords(src), self.coords(dst), self.radices):
+            delta = abs(cd - cs)
+            total += min(delta, k - delta)
+        return total
+
+    def port_label(self, port: int) -> str:
+        if port == LOCAL_PORT:
+            return "local"
+        sign = "+" if port_dir(port) > 0 else "-"
+        return f"d{port_dim(port)}{sign}"
+
+    # -- torus-specific helpers ---------------------------------------------
+
+    def dimension_offset(self, src: int, dst: int, dim: int) -> int:
+        """Signed minimal offset along ``dim`` from src to dst.
+
+        Ties at half the radix resolve to the positive direction, giving a
+        deterministic minimal route.
+        """
+        k = self.radices[dim]
+        delta = (self.coords(dst)[dim] - self.coords(src)[dim]) % k
+        if delta == 0:
+            return 0
+        if delta <= k - delta:
+            return delta
+        return delta - k
+
+    def _build_rings(self) -> tuple[Ring, ...]:
+        rings: list[Ring] = []
+        for dim, k in enumerate(self.radices):
+            other_dims = [d for d in range(self.num_dims) if d != dim]
+            other_ranges = [range(self.radices[d]) for d in other_dims]
+            for fixed in itertools.product(*other_ranges):
+                for direction in (+1, -1):
+                    port = port_index(dim, direction)
+                    hops = []
+                    for step in range(k):
+                        c = [0] * self.num_dims
+                        for d, v in zip(other_dims, fixed):
+                            c[d] = v
+                        c[dim] = step if direction > 0 else (k - step) % k
+                        node = self.node_at(tuple(c))
+                        hops.append(RingHop(node=node, in_port=port, out_port=port))
+                    sign = "+" if direction > 0 else "-"
+                    fixed_str = ",".join(str(v) for v in fixed) or "-"
+                    ring_id = f"d{dim}{sign}[{fixed_str}]"
+                    rings.append(Ring(ring_id=ring_id, hops=tuple(hops)))
+        return tuple(rings)

@@ -1,0 +1,23 @@
+"""Workloads: synthetic patterns, packet-length mixes, traces, PARSEC model."""
+
+from .generator import SyntheticTraffic
+from .lengths import BimodalLength, FixedLength, LengthDistribution
+from .parsec import PARSEC_PROFILES, BenchmarkProfile, CoherenceWorkload
+from .patterns import PATTERNS, TrafficPattern, make_pattern
+from .trace import Trace, TraceEntry, TraceRecorder
+
+__all__ = [
+    "SyntheticTraffic",
+    "LengthDistribution",
+    "FixedLength",
+    "BimodalLength",
+    "TrafficPattern",
+    "PATTERNS",
+    "make_pattern",
+    "CoherenceWorkload",
+    "BenchmarkProfile",
+    "PARSEC_PROFILES",
+    "Trace",
+    "TraceEntry",
+    "TraceRecorder",
+]

@@ -1,0 +1,62 @@
+"""Open-loop synthetic traffic generation.
+
+Each node injects packets as a Bernoulli process whose per-cycle packet
+probability realizes a target *flit* injection rate (flits/node/cycle),
+matching the x-axis of the paper's latency-throughput figures.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..network.flit import Packet
+from ..network.network import Network
+from ..sim.rng import make_rng
+from .lengths import BimodalLength, LengthDistribution
+from .patterns import TrafficPattern
+
+__all__ = ["SyntheticTraffic"]
+
+
+class SyntheticTraffic:
+    """Bernoulli open-loop workload over a traffic pattern."""
+
+    def __init__(
+        self,
+        pattern: TrafficPattern,
+        injection_rate: float,
+        lengths: LengthDistribution | None = None,
+        seed: int = 1,
+    ):
+        if injection_rate < 0:
+            raise ValueError("injection_rate must be >= 0 flits/node/cycle")
+        self.pattern = pattern
+        self.injection_rate = injection_rate
+        self.lengths = lengths if lengths is not None else BimodalLength()
+        self.rng = make_rng(seed)
+        self._pid = itertools.count()
+        self.packets_created = 0
+        #: Probability a node starts a packet on a given cycle.
+        self.packet_probability = injection_rate / self.lengths.mean
+
+    def step(self, cycle: int, network: Network) -> None:
+        if self.packet_probability <= 0:
+            return
+        n = network.topology.num_nodes
+        starts = np.nonzero(self.rng.random(n) < self.packet_probability)[0]
+        for src in starts:
+            src = int(src)
+            dst = self.pattern.dest(src, self.rng)
+            if dst is None:
+                continue
+            packet = Packet(
+                pid=next(self._pid),
+                src=src,
+                dst=dst,
+                length=self.lengths.draw(self.rng),
+                created_cycle=cycle,
+            )
+            network.nics[src].offer(packet)
+            self.packets_created += 1

@@ -1,0 +1,83 @@
+"""Packet-length distributions.
+
+Table 1: with 128-bit links, short (16 B control) packets are 1 flit and
+long (64 B data + head) packets are 5 flits; synthetic traffic assigns the
+two uniformly (Section 4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..sim.config import LONG_PACKET_FLITS, SHORT_PACKET_FLITS
+
+__all__ = ["LengthDistribution", "FixedLength", "BimodalLength"]
+
+
+class LengthDistribution(ABC):
+    """Draws packet lengths in flits."""
+
+    @abstractmethod
+    def draw(self, rng: np.random.Generator) -> int:
+        """One packet length."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected flits per packet (converts flit rates to packet rates)."""
+
+    @property
+    @abstractmethod
+    def max_length(self) -> int:
+        """Longest packet this distribution can produce."""
+
+
+class FixedLength(LengthDistribution):
+    """Every packet has the same length."""
+
+    def __init__(self, length: int):
+        if length < 1:
+            raise ValueError("length must be >= 1 flit")
+        self.length = length
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return self.length
+
+    @property
+    def mean(self) -> float:
+        return float(self.length)
+
+    @property
+    def max_length(self) -> int:
+        return self.length
+
+
+class BimodalLength(LengthDistribution):
+    """The paper's mix: short request packets and long data packets."""
+
+    def __init__(
+        self,
+        short: int = SHORT_PACKET_FLITS,
+        long: int = LONG_PACKET_FLITS,
+        long_fraction: float = 0.5,
+    ):
+        if not 0.0 <= long_fraction <= 1.0:
+            raise ValueError("long_fraction must be in [0, 1]")
+        if short < 1 or long < short:
+            raise ValueError("need 1 <= short <= long")
+        self.short = short
+        self.long = long
+        self.long_fraction = long_fraction
+
+    def draw(self, rng: np.random.Generator) -> int:
+        return self.long if rng.random() < self.long_fraction else self.short
+
+    @property
+    def mean(self) -> float:
+        return self.long * self.long_fraction + self.short * (1 - self.long_fraction)
+
+    @property
+    def max_length(self) -> int:
+        return self.long

@@ -1,0 +1,188 @@
+"""Synthetic traffic patterns (Section 4 of the paper, plus extras).
+
+The paper evaluates uniform random (UR), transpose (TP), bit complement
+(BC) and tornado (TO) [Dally & Towles].  Patterns map a source node to a
+destination; ``None`` means the node generates no traffic under this
+pattern (e.g. transpose diagonal, or a self-directed destination).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..topology.base import Topology
+from ..topology.mesh import Mesh
+from ..topology.torus import Torus
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandom",
+    "Transpose",
+    "BitComplement",
+    "Tornado",
+    "BitReverse",
+    "Hotspot",
+    "NearestNeighbor",
+    "PATTERNS",
+    "make_pattern",
+]
+
+
+class TrafficPattern(ABC):
+    """Maps source nodes to destination nodes."""
+
+    name: str = "pattern"
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+
+    @abstractmethod
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        """Destination for a packet from ``src``; None to skip generation."""
+
+    def _skip_self(self, src: int, dst: int) -> int | None:
+        return None if dst == src else dst
+
+
+class UniformRandom(TrafficPattern):
+    """Each packet targets a uniformly random other node."""
+
+    name = "uniform_random"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        n = self.topology.num_nodes
+        dst = int(rng.integers(0, n - 1))
+        if dst >= src:
+            dst += 1
+        return dst
+
+
+class _GridPattern(TrafficPattern):
+    """Base for coordinate-based patterns; requires a torus or mesh."""
+
+    def __init__(self, topology: Torus | Mesh):
+        if not isinstance(topology, (Torus, Mesh)):
+            raise TypeError(f"{type(self).__name__} needs a torus or mesh")
+        super().__init__(topology)
+
+
+class Transpose(_GridPattern):
+    """(x, y, ...) -> reversed coordinates; square grids only."""
+
+    name = "transpose"
+
+    def __init__(self, topology: Torus | Mesh):
+        super().__init__(topology)
+        if len(set(topology.radices)) != 1:
+            raise ValueError("transpose requires equal radices in all dimensions")
+
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        topo = self.topology
+        coords = topo.coords(src)  # type: ignore[union-attr]
+        return self._skip_self(src, topo.node_at(tuple(reversed(coords))))  # type: ignore[union-attr]
+
+
+class BitComplement(TrafficPattern):
+    """node -> bitwise complement of its index (power-of-two networks)."""
+
+    name = "bit_complement"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        n = topology.num_nodes
+        if n & (n - 1):
+            raise ValueError("bit complement requires a power-of-two node count")
+
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        return self._skip_self(src, (~src) & (self.topology.num_nodes - 1))
+
+
+class Tornado(_GridPattern):
+    """Each coordinate shifts by ceil(k/2) - 1: the adversarial wrap pattern."""
+
+    name = "tornado"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        topo = self.topology
+        coords = topo.coords(src)  # type: ignore[union-attr]
+        shifted = tuple(
+            (c + (k + 1) // 2 - 1) % k for c, k in zip(coords, topo.radices)
+        )
+        return self._skip_self(src, topo.node_at(shifted))  # type: ignore[union-attr]
+
+
+class BitReverse(TrafficPattern):
+    """node -> bit-reversed index (power-of-two networks)."""
+
+    name = "bit_reverse"
+
+    def __init__(self, topology: Topology):
+        super().__init__(topology)
+        n = topology.num_nodes
+        if n & (n - 1):
+            raise ValueError("bit reverse requires a power-of-two node count")
+        self._bits = n.bit_length() - 1
+
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        rev = int(f"{src:0{self._bits}b}"[::-1], 2)
+        return self._skip_self(src, rev)
+
+
+class Hotspot(TrafficPattern):
+    """A fraction of traffic targets fixed hotspot nodes; rest is uniform."""
+
+    name = "hotspot"
+
+    def __init__(self, topology: Topology, hotspots: tuple[int, ...] = (0,), fraction: float = 0.2):
+        super().__init__(topology)
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        self.hotspots = hotspots
+        self.fraction = fraction
+        self._uniform = UniformRandom(topology)
+
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        if rng.random() < self.fraction:
+            dst = self.hotspots[int(rng.integers(0, len(self.hotspots)))]
+            return self._skip_self(src, dst)
+        return self._uniform.dest(src, rng)
+
+
+class NearestNeighbor(_GridPattern):
+    """Each packet targets a random grid neighbor (high locality)."""
+
+    name = "nearest_neighbor"
+
+    def dest(self, src: int, rng: np.random.Generator) -> int | None:
+        topo = self.topology
+        dim = int(rng.integers(0, topo.num_dims))  # type: ignore[union-attr]
+        direction = +1 if rng.random() < 0.5 else -1
+        coords = list(topo.coords(src))  # type: ignore[union-attr]
+        k = topo.radices[dim]  # type: ignore[union-attr]
+        if isinstance(topo, Mesh):
+            coords[dim] = min(max(coords[dim] + direction, 0), k - 1)
+        else:
+            coords[dim] = (coords[dim] + direction) % k
+        return self._skip_self(src, topo.node_at(tuple(coords)))  # type: ignore[union-attr]
+
+
+#: Short names used by the experiment harness (the paper's abbreviations).
+PATTERNS: dict[str, type[TrafficPattern]] = {
+    "UR": UniformRandom,
+    "TP": Transpose,
+    "BC": BitComplement,
+    "TO": Tornado,
+    "BR": BitReverse,
+    "NN": NearestNeighbor,
+}
+
+
+def make_pattern(name: str, topology: Topology) -> TrafficPattern:
+    """Instantiate a pattern by its paper abbreviation (UR/TP/BC/TO/...)."""
+    try:
+        cls = PATTERNS[name.upper()]
+    except KeyError:
+        raise ValueError(f"unknown pattern {name!r}; choose from {sorted(PATTERNS)}")
+    return cls(topology)  # type: ignore[arg-type]

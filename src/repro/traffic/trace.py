@@ -1,0 +1,130 @@
+"""Trace recording and replay.
+
+A :class:`TraceRecorder` captures every packet a live workload offers; the
+resulting :class:`Trace` replays the identical (cycle, src, dst, length)
+stream into any network, which makes cross-design comparisons exact — both
+designs see the same offered load, flit for flit — and lets a workload be
+serialized to JSON for later runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..network.flit import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+    from ..sim.engine import Workload
+
+__all__ = ["TraceEntry", "Trace", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One offered packet."""
+
+    cycle: int
+    src: int
+    dst: int
+    length: int
+    cls: int = 0
+
+
+class Trace:
+    """An ordered, replayable stream of offered packets."""
+
+    def __init__(self, entries: list[TraceEntry] | None = None):
+        self.entries: list[TraceEntry] = list(entries or [])
+        self._cursor = 0
+        self._pid = itertools.count()
+
+    def append(self, entry: TraceEntry) -> None:
+        if self.entries and entry.cycle < self.entries[-1].cycle:
+            raise ValueError("trace entries must be appended in cycle order")
+        self.entries.append(entry)
+
+    def reset(self) -> None:
+        """Rewind for another replay."""
+        self._cursor = 0
+        self._pid = itertools.count()
+
+    # -- Workload protocol ---------------------------------------------------
+
+    def step(self, cycle: int, network: Network) -> None:
+        while self._cursor < len(self.entries) and self.entries[self._cursor].cycle <= cycle:
+            e = self.entries[self._cursor]
+            self._cursor += 1
+            network.nics[e.src].offer(
+                Packet(
+                    pid=next(self._pid),
+                    src=e.src,
+                    dst=e.dst,
+                    length=e.length,
+                    cls=e.cls,
+                    created_cycle=cycle,
+                )
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.entries)
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        data = [
+            [e.cycle, e.src, e.dst, e.length, e.cls] for e in self.entries
+        ]
+        Path(path).write_text(json.dumps(data))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Trace":
+        data = json.loads(Path(path).read_text())
+        return cls([TraceEntry(*row) for row in data])
+
+
+class TraceRecorder:
+    """Wraps a workload, recording everything it offers.
+
+    Use as the simulator's workload; the inner workload runs unchanged
+    while ``recorder.trace`` accumulates the offered stream.
+    """
+
+    def __init__(self, inner: "Workload"):
+        self.inner = inner
+        self.trace = Trace()
+        self._cycle = 0
+
+    def step(self, cycle: int, network: Network) -> None:
+        self._cycle = cycle
+        originals = [nic.offer for nic in network.nics]
+
+        def make_spy(nic_offer, src):
+            def spy(packet: Packet):
+                accepted = nic_offer(packet)
+                if accepted:
+                    self.trace.append(
+                        TraceEntry(
+                            cycle=self._cycle,
+                            src=packet.src,
+                            dst=packet.dst,
+                            length=packet.length,
+                            cls=packet.cls,
+                        )
+                    )
+                return accepted
+
+            return spy
+
+        for nic, original in zip(network.nics, originals):
+            nic.offer = make_spy(original, nic.node)  # type: ignore[method-assign]
+        try:
+            self.inner.step(cycle, network)
+        finally:
+            for nic, original in zip(network.nics, originals):
+                nic.offer = original  # type: ignore[method-assign]

@@ -1,0 +1,75 @@
+"""Shared test fixtures and builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.wbfc import WormBubbleFlowControl
+from repro.experiments.designs import build_network
+from repro.metrics.stats import MetricsCollector
+from repro.network.network import Network
+from repro.routing.dor import DimensionOrderRouting
+from repro.routing.ring_routing import RingRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.ring import UnidirectionalRing
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.lengths import BimodalLength, FixedLength
+from repro.traffic.patterns import UniformRandom, make_pattern
+
+
+def make_ring_network(
+    size: int = 8,
+    *,
+    buffer_depth: int = 3,
+    fc=None,
+    config: SimulationConfig | None = None,
+) -> Network:
+    """A WBFC-controlled unidirectional ring (the paper's unit of analysis)."""
+    ring = UnidirectionalRing(size)
+    cfg = config or SimulationConfig(num_vcs=1, buffer_depth=buffer_depth)
+    return Network(ring, RingRouting(ring), fc or WormBubbleFlowControl(), cfg)
+
+
+def make_torus_network(design: str = "WBFC-1VC", radix: int = 4, **cfg_kwargs) -> Network:
+    config = SimulationConfig(**cfg_kwargs) if cfg_kwargs else None
+    return build_network(design, Torus((radix, radix)), config)
+
+
+def run_traffic(
+    network: Network,
+    rate: float,
+    cycles: int,
+    *,
+    pattern: str = "UR",
+    lengths=None,
+    seed: int = 3,
+    deadlock_window: int = 5_000,
+    listeners=(),
+):
+    """Drive a network with synthetic traffic; returns (simulator, collector)."""
+    workload = SyntheticTraffic(
+        make_pattern(pattern, network.topology), rate, lengths=lengths, seed=seed
+    )
+    collector = MetricsCollector(network)
+    simulator = Simulator(
+        network, workload, watchdog=Watchdog(network, deadlock_window=deadlock_window)
+    )
+    for listener in listeners:
+        simulator.cycle_listeners.append(listener)
+    collector.begin(0)
+    simulator.run(cycles)
+    collector.end(simulator.cycle)
+    return simulator, collector
+
+
+@pytest.fixture
+def torus44() -> Torus:
+    return Torus((4, 4))
+
+
+@pytest.fixture
+def ring8() -> UnidirectionalRing:
+    return UnidirectionalRing(8)

@@ -1,0 +1,59 @@
+"""WBColor and RingContext primitives."""
+
+import pytest
+
+from repro.core.colors import WBColor
+from repro.core.state import RingContext
+
+
+class TestWBColor:
+    def test_three_colors(self):
+        assert {c.value for c in WBColor} == {"white", "gray", "black"}
+
+    def test_repr(self):
+        assert repr(WBColor.GRAY) == "WBColor.GRAY"
+
+
+class TestRingContext:
+    def test_lifecycle_flags(self):
+        ctx = RingContext(ring_id="r")
+        assert not ctx.is_dead  # open contexts are alive even when empty
+        ctx.occupied = 1
+        ctx.closed = True
+        assert not ctx.is_dead  # head left, tail still drains buffers
+        ctx.occupied = 0
+        assert ctx.is_dead
+
+    def test_settle_drops_debt_first(self):
+        ctx = RingContext(ring_id="r", occupied=2)
+        ctx.color_debt.append(WBColor.BLACK)
+        ctx.occupied -= 1
+        assert ctx.settle_vacated_color() is WBColor.BLACK
+        ctx.occupied -= 1
+        assert ctx.settle_vacated_color() is WBColor.WHITE
+
+    def test_settle_returns_gray_on_final_vacate(self):
+        ctx = RingContext(ring_id="r", holds_gray=True, closed=True, occupied=1)
+        ctx.occupied -= 1
+        assert ctx.settle_vacated_color() is WBColor.GRAY
+        assert not ctx.holds_gray
+
+    def test_gray_not_released_while_open(self):
+        ctx = RingContext(ring_id="r", holds_gray=True, occupied=1)
+        ctx.occupied -= 1
+        # head still rides the ring (not closed): the token stays held
+        assert ctx.settle_vacated_color() is WBColor.WHITE
+        assert ctx.holds_gray
+
+    def test_leak_guard_raises(self):
+        ctx = RingContext(ring_id="r", holds_gray=True, closed=True, occupied=1)
+        ctx.color_debt.append(WBColor.BLACK)
+        ctx.occupied -= 1
+        with pytest.raises(RuntimeError, match="leak"):
+            ctx.settle_vacated_color()
+
+    def test_flits_entered_defaults(self):
+        ctx = RingContext(ring_id="r")
+        assert ctx.flits_entered == 0
+        assert ctx.ch == 0
+        assert not ctx.gray_entitled

@@ -1,0 +1,162 @@
+"""Section 6 extensions: general ring topologies and flit-level WBFC."""
+
+import pytest
+
+from repro.core.flit_level import FlitLevelWBFC
+from repro.core.invariants import check_invariants
+from repro.core.wbfc import WormBubbleFlowControl
+from repro.network.network import Network
+from repro.network.switching import Switching
+from repro.routing.dor import DimensionOrderRouting
+from repro.routing.ring_routing import HierarchicalRingRouting, RingRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.hierarchical_ring import HierarchicalRing
+from repro.topology.ring import BidirectionalRing, UnidirectionalRing
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+
+
+def _drive(net, rate, cycles, seed=3, window=5_000):
+    wl = SyntheticTraffic(UniformRandom(net.topology), rate, seed=seed)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=window))
+    sim.run(cycles)
+    return net, wl, sim
+
+
+class TestRingTopologies:
+    def test_wbfc_on_unidirectional_ring(self):
+        ring = UnidirectionalRing(8)
+        net = Network(
+            ring, RingRouting(ring), WormBubbleFlowControl(), SimulationConfig(num_vcs=1)
+        )
+        _drive(net, 0.05, 8_000)
+        assert net.packets_ejected > 300
+        check_invariants(net)
+
+    def test_wbfc_on_bidirectional_ring(self):
+        ring = BidirectionalRing(8)
+        net = Network(
+            ring, RingRouting(ring), WormBubbleFlowControl(), SimulationConfig(num_vcs=1)
+        )
+        _drive(net, 0.1, 8_000)
+        assert net.packets_ejected > 500
+        check_invariants(net)
+
+    def test_wbfc_on_hierarchical_ring_with_bridges(self):
+        """Cross-ring traffic rides hub bridges; each segment is pure WBFC."""
+        from repro.network.bridges import HierarchicalBridges
+        from repro.sim.rng import make_rng
+
+        topo = HierarchicalRing(4, 4)
+        net = Network(
+            topo,
+            HierarchicalRingRouting(topo),
+            WormBubbleFlowControl(),
+            SimulationConfig(num_vcs=1),
+        )
+        bridges = HierarchicalBridges(net)
+        rng = make_rng(3)
+
+        class BridgedTraffic:
+            def step(self, cycle, network):
+                for src in range(topo.num_nodes):
+                    if rng.random() < 0.01:
+                        dst = int(rng.integers(0, topo.num_nodes - 1))
+                        if dst >= src:
+                            dst += 1
+                        bridges.send(src, dst, 5 if rng.random() < 0.5 else 1, cycle)
+
+        sim = Simulator(net, BridgedTraffic(), watchdog=Watchdog(net, deadlock_window=8_000))
+        sim.run(12_000)
+        assert len(bridges.delivered) > 200
+        # bridged journeys really crossed rings
+        assert any(j.segments_done >= 3 for j in bridges.delivered)
+        check_invariants(net)
+
+    def test_unbridged_hierarchy_wedges_across_rings(self):
+        """Per-ring WBFC cannot break the local->global->local cycle.
+
+        This motivates the bridge model: Section 6 only promises deadlock
+        freedom *within* each ring.
+        """
+        topo = HierarchicalRing(4, 4)
+        net = Network(
+            topo,
+            HierarchicalRingRouting(topo),
+            WormBubbleFlowControl(),
+            SimulationConfig(num_vcs=1),
+        )
+        wl = SyntheticTraffic(UniformRandom(topo), 0.04, seed=3)
+        wd = Watchdog(net, deadlock_window=3_000, raise_on_deadlock=False)
+        sim = Simulator(net, wl, watchdog=wd)
+        sim.run(15_000)
+        assert wd.deadlocked
+
+
+class TestFlitLevelWBFC:
+    def _net(self, depth=3):
+        topo = Torus((4, 4))
+        cfg = SimulationConfig(
+            num_vcs=1, buffer_depth=depth, switching=Switching.WORMHOLE_NONATOMIC
+        )
+        return Network(topo, DimensionOrderRouting(topo), FlitLevelWBFC(), cfg)
+
+    def test_requires_non_atomic(self):
+        topo = Torus((4, 4))
+        with pytest.raises(ValueError, match="non-atomic"):
+            Network(
+                topo,
+                DimensionOrderRouting(topo),
+                FlitLevelWBFC(),
+                SimulationConfig(num_vcs=1),
+            )
+
+    def test_initial_slot_colors(self):
+        net = self._net()
+        fc = net.flow_control
+        for rid, bufs in fc.ring_buffers.items():
+            grays = sum(fc.gray_slots[b] for b in bufs)
+            blacks = sum(fc.black_slots[b] for b in bufs)
+            assert grays == 1
+            assert blacks == 4  # ML - 1 = L(p) - 1 at flit level
+
+    def test_runs_deadlock_free(self):
+        net = self._net()
+        _drive(net, 0.05, 8_000)
+        assert net.packets_ejected > 200
+
+    def test_gray_slot_conserved(self):
+        net = self._net()
+        fc = net.flow_control
+        wl = SyntheticTraffic(UniformRandom(net.topology), 0.05, seed=3)
+        sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=5_000))
+
+        def conserve(cycle):
+            for rid, bufs in fc.ring_buffers.items():
+                on_bufs = sum(fc.gray_slots[b] for b in bufs)
+                held = sum(
+                    1
+                    for ctx in fc._packet_ctx.values()
+                    if ctx.ring_id == rid and ctx.holds_gray
+                )
+                debt = sum(
+                    sum(1 for c in ctx.color_debt if c.name == "GRAY")
+                    for ctx in fc._packet_ctx.values()
+                    if ctx.ring_id == rid
+                )
+                assert on_bufs + held + debt == 1, rid
+
+        sim.cycle_listeners.append(conserve)
+        sim.run(2_500)
+        assert net.packets_ejected > 50
+
+    def test_small_ring_rejected(self):
+        topo = Torus((2, 2))
+        cfg = SimulationConfig(
+            num_vcs=1, buffer_depth=1, switching=Switching.WORMHOLE_NONATOMIC
+        )
+        with pytest.raises(ValueError):
+            Network(topo, DimensionOrderRouting(topo), FlitLevelWBFC(), cfg)

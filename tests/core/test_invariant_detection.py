@@ -1,0 +1,63 @@
+"""The invariant checker must actually detect corruption (oracle quality)."""
+
+import pytest
+
+from repro.core.colors import WBColor
+from repro.core.invariants import InvariantViolation, check_invariants, ring_ledger
+from tests.conftest import make_ring_network, make_torus_network
+
+
+def test_detects_duplicated_gray():
+    net = make_ring_network(8)
+    bufs = net.flow_control.ring_buffers["ring+"]
+    bufs[4].color = WBColor.GRAY  # second gray out of thin air
+    with pytest.raises(InvariantViolation, match="gray"):
+        check_invariants(net)
+
+
+def test_detects_lost_gray():
+    net = make_ring_network(8)
+    bufs = net.flow_control.ring_buffers["ring+"]
+    bufs[0].color = WBColor.WHITE  # the initial gray vanishes
+    with pytest.raises(InvariantViolation, match="gray"):
+        check_invariants(net)
+
+
+def test_detects_unbacked_black():
+    net = make_ring_network(8)
+    bufs = net.flow_control.ring_buffers["ring+"]
+    bufs[5].color = WBColor.BLACK  # black with no CI/CH backing
+    with pytest.raises(InvariantViolation, match="blacks"):
+        check_invariants(net)
+
+
+def test_detects_missing_black():
+    net = make_ring_network(8)
+    net.flow_control.ci[(2, "ring+")] = 1  # right with no black backing
+    with pytest.raises(InvariantViolation, match="blacks"):
+        check_invariants(net)
+
+
+def test_clean_network_passes():
+    check_invariants(make_ring_network(8))
+    check_invariants(make_torus_network("WBFC-1VC"))
+    check_invariants(make_torus_network("WBFC-3VC", radix=8))
+
+
+def test_requires_wbfc():
+    with pytest.raises(TypeError):
+        check_invariants(make_torus_network("DL-2VC"))
+    with pytest.raises(TypeError):
+        ring_ledger(make_torus_network("DL-2VC"), "d0+[0]")
+
+
+def test_ledger_counts_occupied_buffers():
+    from repro.network.flit import Packet
+
+    net = make_ring_network(8)
+    bufs = net.flow_control.ring_buffers["ring+"]
+    p = Packet(pid=1, src=0, dst=3, length=1)
+    bufs[2].owner = p
+    led = ring_ledger(net, "ring+")
+    assert led.occupied_buffers == 1
+    assert led.whites == 5  # 8 - gray - black - occupied

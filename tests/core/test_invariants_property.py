@@ -1,0 +1,91 @@
+"""Property-based tests: WBFC conservation laws under random traffic.
+
+The two conservation laws (gray count == 1; blacks == (ML-1) + CI + CH)
+must hold at every cycle for any workload, topology and buffer depth.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.invariants import check_invariants, ring_ledger
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.lengths import BimodalLength, FixedLength
+from repro.traffic.patterns import UniformRandom
+from tests.conftest import make_ring_network, make_torus_network
+
+
+def _run_checked(net, rate, cycles, seed, lengths=None):
+    wl = SyntheticTraffic(UniformRandom(net.topology), rate, lengths=lengths, seed=seed)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=cycles + 1))
+    sim.cycle_listeners.append(lambda c: check_invariants(net))
+    sim.run(cycles)
+    return net
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=0.01, max_value=0.5),
+    size=st.integers(min_value=6, max_value=12),
+)
+def test_ring_conservation_under_random_traffic(seed, rate, size):
+    net = make_ring_network(size, buffer_depth=3)
+    _run_checked(net, rate, 800, seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=0.05, max_value=0.6),
+)
+def test_torus_conservation_under_random_traffic(seed, rate):
+    net = make_torus_network("WBFC-1VC", radix=4)
+    _run_checked(net, rate, 600, seed)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    depth=st.sampled_from([1, 2, 3, 5]),
+)
+def test_conservation_across_buffer_depths(seed, depth):
+    net = make_ring_network(8, buffer_depth=depth)
+    _run_checked(net, 0.2, 800, seed)
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    length=st.sampled_from([1, 2, 3, 5]),
+)
+def test_conservation_across_packet_lengths(seed, length):
+    net = make_ring_network(8, buffer_depth=3)
+    _run_checked(net, 0.2, 800, seed, lengths=FixedLength(length))
+
+
+def test_ledger_snapshot_fields():
+    net = make_ring_network(8, buffer_depth=3)
+    led = ring_ledger(net, "ring+")
+    assert led.gray_count == 1
+    assert led.black_count == led.expected_blacks == 1  # ML - 1
+    assert led.whites == 6
+    assert led.occupied_buffers == 0
+
+
+def test_adaptive_design_conservation():
+    net = make_torus_network("WBFC-3VC", radix=4)
+    _run_checked(net, 0.5, 1_500, seed=5)
+
+
+def test_no_packet_loss_after_drain():
+    net = make_torus_network("WBFC-1VC", radix=4)
+    wl = SyntheticTraffic(UniformRandom(net.topology), 0.1, seed=7)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=20_000))
+    sim.run(2_000)
+    wl.packet_probability = 0.0
+    assert sim.drain(100_000), "network failed to drain"
+    assert net.packets_ejected == wl.packets_created
+    check_invariants(net)

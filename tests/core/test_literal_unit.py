@@ -1,0 +1,74 @@
+"""The literal Section-3 variant: behaves as written, including its flaw."""
+
+from repro.core.colors import WBColor
+from repro.core.literal import PaperLiteralWBFC
+from repro.core.state import RingContext
+from repro.network.flit import Packet
+from repro.sim.config import SimulationConfig
+from tests.conftest import make_ring_network
+
+
+def _net():
+    return make_ring_network(8, fc=PaperLiteralWBFC(), config=SimulationConfig(num_vcs=1))
+
+
+def test_valves_disabled():
+    fc = PaperLiteralWBFC()
+    assert not fc.reclaim_banked_ci
+    assert not fc.black_reentry
+    assert fc.name == "wbfc-literal"
+
+
+def test_equation4_admits_any_empty_buffer():
+    net = _net()
+    fc = net.flow_control
+    bufs = fc.ring_buffers["ring+"]
+    bufs[3].color = WBColor.BLACK
+    p = Packet(pid=1, src=0, dst=5, length=5)
+    p.current_ctx = RingContext(ring_id="ring+", ch=0, flits_entered=1)
+    ovc = net.routers[2].outputs[1][0]
+    # partially-entered long worm, zero budget: the literal rule says yes
+    assert fc.allow_escape(p, 2, 1, ovc, in_ring=True, cycle=0) is True
+
+
+def test_gray_taken_as_debt_not_grabbed():
+    net = _net()
+    fc = net.flow_control
+    bufs = fc.ring_buffers["ring+"]
+    bufs[3].color = WBColor.GRAY
+    p = Packet(pid=1, src=0, dst=5, length=5)
+    ctx = RingContext(ring_id="ring+", ch=0, flits_entered=1)
+    p.current_ctx = ctx
+    fc.on_acquire(p, bufs[3], in_ring=True, node=2, cycle=0)
+    assert ctx.color_debt == [WBColor.GRAY]
+    assert not ctx.holds_gray
+
+
+def test_injection_rules_identical_to_production():
+    """The literal variant only relaxes in-ring passage, not injection."""
+    net = _net()
+    fc = net.flow_control
+    p = Packet(pid=1, src=2, dst=5, length=5)
+    ovc = net.routers[2].outputs[1][0]
+    # first sighting marks rather than injects, exactly like production
+    assert fc.allow_escape(p, 2, 1, ovc, in_ring=False, cycle=0) is False
+    assert fc.ci[(2, "ring+")] == 1
+    assert fc.ring_buffers["ring+"][3].color is WBColor.BLACK
+
+
+def test_short_traffic_alone_is_still_safe():
+    """With every packet fitting one buffer the literal scheme is sound
+    (that is the VCT/CBS regime it was generalized from)."""
+    from repro.sim.deadlock import Watchdog
+    from repro.sim.engine import Simulator
+    from repro.traffic.generator import SyntheticTraffic
+    from repro.traffic.lengths import FixedLength
+    from repro.traffic.patterns import UniformRandom
+
+    net = _net()
+    wl = SyntheticTraffic(
+        UniformRandom(net.topology), 0.10, lengths=FixedLength(1), seed=5
+    )
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=4_000))
+    sim.run(10_000)
+    assert net.packets_ejected > 500

@@ -1,0 +1,140 @@
+"""Unit tests of the marked-worm-bubble passage rule (the safety core).
+
+The rule (see repro/core/wbfc.py module notes and docs/THEORY.md): an
+in-transit head may consume a marked WB only when the consumption is
+conservation-safe — by unmarking (CH), by self-healing (packet fits one
+buffer or is fully inside the ring), by grabbing the gray token, or under
+the case-(ii) gray entitlement.
+"""
+
+import pytest
+
+from repro.core.colors import WBColor
+from repro.core.state import RingContext
+from repro.network.flit import Packet
+from tests.conftest import make_ring_network
+
+
+def _in_ring_allow(net, node, packet):
+    fc = net.flow_control
+    ovc = net.routers[node].outputs[1][0]
+    return fc.allow_escape(packet, node, 1, ovc, in_ring=True, cycle=0)
+
+
+def _packet_with_ctx(net, pid=1, length=5, **ctx_kwargs):
+    p = Packet(pid=pid, src=0, dst=4, length=length)
+    p.current_ctx = RingContext(ring_id="ring+", **ctx_kwargs)
+    return p
+
+
+class TestMarkedPassage:
+    def setup_method(self):
+        self.net = make_ring_network(8, buffer_depth=3)
+        self.bufs = self.net.flow_control.ring_buffers["ring+"]
+        for b in self.bufs:
+            b.color = WBColor.WHITE
+        self.bufs[0].color = WBColor.GRAY  # keep conservation plausible
+        # downstream of node 2 (the watch we test) is buffer index 3
+        self.watch = self.bufs[3]
+
+    def test_white_always_passable(self):
+        p = _packet_with_ctx(self.net)
+        assert _in_ring_allow(self.net, 2, p) is True
+
+    def test_black_blocked_without_budget(self):
+        self.watch.color = WBColor.BLACK
+        p = _packet_with_ctx(self.net, ch=0, flits_entered=3)  # partial, no CH
+        assert _in_ring_allow(self.net, 2, p) is False
+
+    def test_black_passable_by_unmarking(self):
+        self.watch.color = WBColor.BLACK
+        p = _packet_with_ctx(self.net, ch=1, flits_entered=3)
+        assert _in_ring_allow(self.net, 2, p) is True
+
+    def test_black_passable_when_fully_entered(self):
+        self.watch.color = WBColor.BLACK
+        p = _packet_with_ctx(self.net, ch=0, flits_entered=5)
+        assert _in_ring_allow(self.net, 2, p) is True
+
+    def test_black_passable_when_packet_fits_one_buffer(self):
+        self.watch.color = WBColor.BLACK
+        p = _packet_with_ctx(self.net, length=3, ch=0, flits_entered=1)
+        assert _in_ring_allow(self.net, 2, p) is True
+
+    def test_black_passable_under_gray_entitlement(self):
+        self.watch.color = WBColor.BLACK
+        p = _packet_with_ctx(
+            self.net, ch=0, flits_entered=3, holds_gray=True, gray_entitled=True
+        )
+        assert _in_ring_allow(self.net, 2, p) is True
+
+    def test_transit_grabbed_gray_conveys_no_entitlement(self):
+        self.watch.color = WBColor.BLACK
+        p = _packet_with_ctx(
+            self.net, ch=0, flits_entered=3, holds_gray=True, gray_entitled=False
+        )
+        assert _in_ring_allow(self.net, 2, p) is False
+
+    def test_gray_always_passable_in_transit(self):
+        self.bufs[0].color = WBColor.WHITE
+        self.watch.color = WBColor.GRAY
+        p = _packet_with_ctx(self.net, ch=0, flits_entered=3)
+        assert _in_ring_allow(self.net, 2, p) is True
+
+
+class TestPassageSideEffects:
+    def test_partial_worm_grabs_gray_on_acquire(self):
+        net = make_ring_network(8)
+        fc = net.flow_control
+        bufs = fc.ring_buffers["ring+"]
+        for b in bufs:
+            b.color = WBColor.WHITE
+        bufs[3].color = WBColor.GRAY
+        p = _packet_with_ctx(net, ch=0, flits_entered=3)
+        fc.on_acquire(p, bufs[3], in_ring=True, node=2, cycle=0)
+        assert p.current_ctx.holds_gray
+        assert not p.current_ctx.gray_entitled
+        assert fc.stats["transit_gray_grabs"] == 1
+
+    def test_fully_entered_worm_takes_gray_as_debt(self):
+        net = make_ring_network(8)
+        fc = net.flow_control
+        bufs = fc.ring_buffers["ring+"]
+        for b in bufs:
+            b.color = WBColor.WHITE
+        bufs[3].color = WBColor.GRAY
+        p = _packet_with_ctx(net, ch=0, flits_entered=5)
+        fc.on_acquire(p, bufs[3], in_ring=True, node=2, cycle=0)
+        assert not p.current_ctx.holds_gray
+        assert p.current_ctx.color_debt == [WBColor.GRAY]
+
+    def test_unmark_consumes_ch(self):
+        net = make_ring_network(8)
+        fc = net.flow_control
+        bufs = fc.ring_buffers["ring+"]
+        bufs[3].color = WBColor.BLACK
+        p = _packet_with_ctx(net, ch=2, flits_entered=3)
+        fc.on_acquire(p, bufs[3], in_ring=True, node=2, cycle=0)
+        assert p.current_ctx.ch == 1
+        assert bufs[3].color is WBColor.WHITE  # parked while occupied
+        assert p.current_ctx.color_debt == []
+
+    def test_black_debt_when_ch_exhausted(self):
+        net = make_ring_network(8)
+        fc = net.flow_control
+        bufs = fc.ring_buffers["ring+"]
+        bufs[3].color = WBColor.BLACK
+        p = _packet_with_ctx(net, ch=0, flits_entered=5)
+        fc.on_acquire(p, bufs[3], in_ring=True, node=2, cycle=0)
+        assert p.current_ctx.color_debt == [WBColor.BLACK]
+
+    def test_debt_dropped_on_vacate(self):
+        net = make_ring_network(8)
+        fc = net.flow_control
+        bufs = fc.ring_buffers["ring+"]
+        bufs[3].color = WBColor.BLACK
+        p = _packet_with_ctx(net, ch=0, flits_entered=5)
+        fc.on_acquire(p, bufs[3], in_ring=True, node=2, cycle=0)
+        fc.on_vacate(bufs[3])
+        assert bufs[3].color is WBColor.BLACK  # the debt landed back
+        assert p.current_ctx.color_debt == []

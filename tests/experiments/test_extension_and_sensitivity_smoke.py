@@ -1,0 +1,26 @@
+"""Smoke tests of the extension and sensitivity harnesses at tiny scale."""
+
+from repro.experiments.extensions import render_extensions, run_extensions
+from repro.experiments.runner import Scale
+from repro.experiments.sensitivity import (
+    reclaim_patience_study,
+    render_reclaim_patience,
+)
+
+TINY = Scale(name="tiny", warmup=150, measure=800, sweep_points=2, parsec_transactions=10)
+
+
+def test_extensions_tiny():
+    results = run_extensions(scale=TINY, rate=0.08)
+    text = render_extensions(results)
+    assert all(r.deadlock_free for r in results)
+    assert "Section 6 extensions" in text
+    names = [r.name for r in results]
+    assert names == ["WBFC ring", "WBFC hierarchical", "CBS case (c)", "WBFC case (d)"]
+
+
+def test_reclaim_patience_tiny():
+    results = reclaim_patience_study(patiences=(0, 2), scale=TINY)
+    assert set(results) == {0, 2}
+    assert all(v > 0 for v in results.values())
+    assert "patience" in render_reclaim_patience(results)

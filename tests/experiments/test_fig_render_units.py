@@ -1,0 +1,62 @@
+"""Pure-logic units of the figure harnesses (no simulation)."""
+
+from repro.experiments.fig10 import LatencyLoadStudy
+from repro.experiments.fig13 import ParsecResult
+from repro.experiments.fig16 import render_figure16
+from repro.metrics.stats import MeasurementSummary
+from repro.metrics.sweep import SweepPoint, SweepResult
+from repro.power.energy import EnergyBreakdown
+
+
+def _curve(design, pattern, pairs):
+    c = SweepResult(design=design, pattern=pattern)
+    for rate, lat in pairs:
+        c.points.append(
+            SweepPoint(rate, MeasurementSummary(10, lat, lat, rate, 1.0, 2.0, 100))
+        )
+    return c
+
+
+def test_saturation_table_layout():
+    study = LatencyLoadStudy(
+        radix=4,
+        curves={
+            ("UR", "WBFC-1VC"): _curve("WBFC-1VC", "UR", [(0.02, 10), (0.2, 40)]),
+            ("UR", "DL-2VC"): _curve("DL-2VC", "UR", [(0.02, 10), (0.3, 40)]),
+        },
+    )
+    table = study.saturation_table()
+    assert table[0][0] == "UR"
+    assert table[0][1] != "-"  # WBFC-1VC measured
+    assert table[0][3] == "-"  # WBFC-2VC missing -> dash
+
+
+def test_fig16_render_reports_crossover():
+    curves = {
+        ("DL-3VC", 1): _curve("DL-3VC", "UR", [(0.02, 10), (0.2, 40)]),
+        ("WBFC-3VC", 1): _curve("WBFC-3VC", "UR", [(0.02, 10), (0.25, 40)]),
+        ("DL-3VC", 3): _curve("DL-3VC", "UR", [(0.02, 10), (0.3, 40)]),
+        ("WBFC-3VC", 3): _curve("WBFC-3VC", "UR", [(0.02, 10), (0.35, 40)]),
+        ("DL-3VC", 5): _curve("DL-3VC", "UR", [(0.02, 10), (0.4, 40)]),
+        ("WBFC-3VC", 5): _curve("WBFC-3VC", "UR", [(0.02, 10), (0.45, 40)]),
+    }
+    text = render_figure16(curves)
+    assert "1F" in text and "5F" in text
+    assert "WBFC-3VC-3F vs DL-3VC-5F" in text
+
+
+def test_parsec_result_normalization():
+    result = ParsecResult()
+    result.exec_cycles[("dedup", "WBFC-1VC")] = 1000
+    result.exec_cycles[("dedup", "DL-2VC")] = 900
+    norm = result.normalized_times()
+    assert norm[("dedup", "WBFC-1VC")] == 1.0
+    assert norm[("dedup", "DL-2VC")] == 0.9
+
+
+def test_energy_breakdown_totals():
+    e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+    assert e.total == 10.0
+    norm = e.normalized_to(EnergyBreakdown(2.0, 2.0, 2.0, 4.0))
+    assert norm["total"] == 1.0
+    assert norm["buffer_static"] == 0.1

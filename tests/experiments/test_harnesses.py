@@ -1,0 +1,84 @@
+"""Experiment harnesses: designs registry and figure modules (smoke-level)."""
+
+import pytest
+
+from repro.experiments.designs import DESIGNS, PAPER_DESIGNS, build_network
+from repro.experiments.fig01 import figure1_rows, render_figure1
+from repro.experiments.fig10 import latency_load_study
+from repro.experiments.fig13 import run_parsec
+from repro.experiments.fig14 import design_area, figure14_areas
+from repro.experiments.runner import Scale, current_scale, format_table
+from repro.experiments.table1 import render_table1, table1_rows
+from repro.topology.torus import Torus
+
+TINY = Scale(name="tiny", warmup=150, measure=600, sweep_points=2, parsec_transactions=12)
+
+
+class TestDesigns:
+    def test_registry_has_paper_designs(self):
+        assert set(PAPER_DESIGNS) <= set(DESIGNS)
+        for name in PAPER_DESIGNS:
+            d = DESIGNS[name]
+            assert d.num_adaptive_vcs == d.num_vcs - d.num_escape_vcs
+
+    @pytest.mark.parametrize("name", PAPER_DESIGNS)
+    def test_build_network(self, name):
+        net = build_network(name, Torus((4, 4)))
+        d = DESIGNS[name]
+        assert net.config.num_vcs == d.num_vcs
+        assert net.config.num_escape_vcs == d.num_escape_vcs
+        assert net.flow_control.name.startswith(d.flow_control[:4])
+
+    def test_config_passthrough(self):
+        from repro.sim.config import SimulationConfig
+
+        net = build_network("WBFC-1VC", Torus((4, 4)), SimulationConfig(buffer_depth=5))
+        assert net.config.buffer_depth == 5
+        assert net.config.num_vcs == 1  # design overrides VC structure
+
+
+class TestRunner:
+    def test_scale_selection(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert current_scale().name == "ci"
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert current_scale().name == "full"
+
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[-1]
+
+
+class TestFigureModules:
+    def test_table1(self):
+        assert len(table1_rows()) == 10
+        assert "Table 1" in render_table1()
+
+    def test_fig01(self):
+        rows = figure1_rows()
+        assert [r.num_vcs for r in rows] == [3, 2, 1]
+        assert "Figure 1(a)" in render_figure1()
+
+    def test_fig14(self):
+        areas = figure14_areas()
+        assert set(areas) == set(PAPER_DESIGNS)
+        assert areas["WBFC-1VC"].overhead > 0
+        assert areas["DL-2VC"].overhead == 0
+        assert design_area("DL-3VC").total > design_area("DL-2VC").total
+
+    def test_fig10_study_tiny(self):
+        study = latency_load_study(
+            4, patterns=("UR",), designs=("DL-2VC", "WBFC-2VC"), scale=TINY
+        )
+        assert ("UR", "DL-2VC") in study.curves
+        table = study.saturation_table()
+        assert table[0][0] == "UR"
+
+    def test_fig13_tiny(self):
+        result = run_parsec(("swaptions",), designs=("WBFC-1VC", "DL-2VC"), scale=TINY)
+        norm = result.normalized_times()
+        assert norm[("swaptions", "WBFC-1VC")] == 1.0
+        assert ("swaptions", "DL-2VC") in norm
+        assert result.energy[("swaptions", "DL-2VC")].total > 0

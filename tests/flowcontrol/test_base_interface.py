@@ -1,0 +1,70 @@
+"""FlowControl base class: ring registry and move classification."""
+
+import pytest
+
+from repro.network.flit import Packet
+from repro.topology.torus import port_index
+from tests.conftest import make_ring_network, make_torus_network
+
+
+class TestRingRegistry:
+    def test_every_torus_output_maps_to_one_ring(self):
+        net = make_torus_network("WBFC-1VC")
+        fc = net.flow_control
+        for node in range(16):
+            for port in range(1, 5):
+                assert (node, port) in fc.ring_of_output
+
+    def test_positions_and_out_ports_consistent(self):
+        net = make_torus_network("WBFC-1VC")
+        fc = net.flow_control
+        for ring_id, ring in fc.rings.items():
+            for pos, hop in enumerate(ring.hops):
+                assert fc.ring_position[(ring_id, hop.node)] == pos
+                assert fc.ring_out_port[(ring_id, hop.node)] == hop.out_port
+
+    def test_ring_buffers_ordered_like_hops(self):
+        net = make_ring_network(8)
+        fc = net.flow_control
+        buffers = fc.ring_buffers["ring+"]
+        assert [b.node for b in buffers] == list(range(8))
+
+
+class TestMoveClassification:
+    def test_nic_source_is_injection(self):
+        net = make_torus_network("WBFC-1VC")
+        fc = net.flow_control
+        src = net.routers[5].inputs[0][0]  # NIC staging slot
+        assert not fc.is_in_ring_move(src, 5, port_index(0, +1))
+
+    def test_same_ring_continuation(self):
+        net = make_torus_network("WBFC-1VC")
+        fc = net.flow_control
+        # node 5's +x input buffer belongs to the +x ring of its row;
+        # continuing through the +x output is an in-ring move
+        ivc = net.input_vc(5, port_index(0, +1), 0)
+        assert fc.is_in_ring_move(ivc, 5, port_index(0, +1))
+
+    def test_dimension_change_is_injection(self):
+        net = make_torus_network("WBFC-1VC")
+        fc = net.flow_control
+        ivc = net.input_vc(5, port_index(0, +1), 0)
+        assert not fc.is_in_ring_move(ivc, 5, port_index(1, +1))
+
+    def test_adaptive_source_is_injection(self):
+        net = make_torus_network("WBFC-3VC")
+        fc = net.flow_control
+        adaptive = net.input_vc(5, port_index(0, +1), 1)  # non-escape VC
+        assert not fc.is_in_ring_move(adaptive, 5, port_index(0, +1))
+
+
+class TestEscapeChoiceDefaults:
+    def test_wbfc_offers_only_vc0(self):
+        net = make_torus_network("WBFC-3VC")
+        p = Packet(pid=1, src=0, dst=5, length=1)
+        assert net.flow_control.escape_vc_choices(p, 0, 1, False) == (0,)
+
+    def test_unrestricted_offers_all_escapes(self):
+        net = make_torus_network("UNRESTRICTED-1VC")
+        p = Packet(pid=1, src=0, dst=5, length=1)
+        assert net.flow_control.escape_vc_choices(p, 0, 1, False) == (0,)

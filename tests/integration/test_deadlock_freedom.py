@@ -1,0 +1,104 @@
+"""End-to-end deadlock-freedom matrix — the reproduction's central claim.
+
+Every paper design must survive saturating loads on every traffic pattern;
+the unrestricted control must deadlock on ring-bearing topologies and must
+NOT deadlock on a mesh (which has no rings to protect).
+"""
+
+import pytest
+
+from repro.experiments.designs import PAPER_DESIGNS, build_network
+from repro.flowcontrol.unrestricted import UnrestrictedFlowControl
+from repro.network.network import Network
+from repro.routing.dor import DimensionOrderRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.lengths import FixedLength
+from repro.traffic.patterns import make_pattern
+
+
+def _saturating_run(net, pattern, rate, cycles, seed=3, lengths=None):
+    wl = SyntheticTraffic(
+        make_pattern(pattern, net.topology), rate, lengths=lengths, seed=seed
+    )
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=3_000))
+    sim.run(cycles)
+    return net.packets_ejected
+
+
+@pytest.mark.parametrize("design", PAPER_DESIGNS)
+@pytest.mark.parametrize("pattern", ["UR", "TP", "BC", "TO"])
+def test_paper_designs_never_deadlock(design, pattern):
+    net = build_network(design, Torus((4, 4)))
+    ejected = _saturating_run(net, pattern, 0.8, 6_000)
+    assert ejected > 0
+
+
+@pytest.mark.parametrize("design", ["WBFC-1VC", "WBFC-3VC"])
+def test_wbfc_one_flit_buffers_8x8(design):
+    """The paper's minimal configuration: 1-flit VC buffers (ML = 5)."""
+    cfg = SimulationConfig(buffer_depth=1)
+    net = build_network(design, Torus((8, 8)), cfg)
+    ejected = _saturating_run(net, "UR", 0.4, 6_000, seed=9)
+    assert ejected > 0
+
+
+def test_unrestricted_deadlocks_on_torus():
+    net = build_network("UNRESTRICTED-1VC", Torus((8,)))
+    wl = SyntheticTraffic(
+        make_pattern("UR", net.topology), 0.5, lengths=FixedLength(5), seed=5
+    )
+    watchdog = Watchdog(net, deadlock_window=500, raise_on_deadlock=False)
+    sim = Simulator(net, wl, watchdog=watchdog)
+    sim.run(10_000)
+    assert watchdog.deadlocked, "the negative control failed to deadlock"
+
+
+def test_unrestricted_is_safe_on_mesh():
+    """Meshes have no rings: DOR alone is deadlock-free there."""
+    topo = Mesh((4, 4))
+    cfg = SimulationConfig(num_vcs=1, num_escape_vcs=1)
+    net = Network(topo, DimensionOrderRouting(topo), UnrestrictedFlowControl(), cfg)
+    ejected = _saturating_run(net, "UR", 0.6, 6_000)
+    assert ejected > 0
+
+
+def test_paper_literal_wbfc_deadlocks():
+    """The scheme exactly as written in Section 3 wedges under load.
+
+    This is the safety gap analysed in repro.core.wbfc's module notes: a
+    worm longer than one buffer consuming a marked bubble destroys it (the
+    backward transfer has nowhere empty to land), so rings fill up and
+    stop.  The corrected passage rule plus liveness valves close it.
+    """
+    from repro.core.literal import PaperLiteralWBFC
+    from repro.routing.ring_routing import RingRouting
+    from repro.topology.ring import UnidirectionalRing
+
+    ring = UnidirectionalRing(8)
+    net = Network(
+        ring,
+        RingRouting(ring),
+        PaperLiteralWBFC(),
+        SimulationConfig(num_vcs=1, buffer_depth=3),
+    )
+    wl = SyntheticTraffic(make_pattern("UR", net.topology), 0.15, seed=3)
+    watchdog = Watchdog(net, deadlock_window=2_000, raise_on_deadlock=False)
+    sim = Simulator(net, wl, watchdog=watchdog)
+    sim.run(15_000)
+    assert watchdog.deadlocked, (
+        "expected the literal Section-3 variant to wedge; if this fails "
+        "the corrected passage rule may be unnecessary"
+    )
+
+
+@pytest.mark.parametrize("depth", [1, 3, 5])
+def test_wbfc_all_buffer_depths_on_8x8(depth):
+    cfg = SimulationConfig(buffer_depth=depth)
+    net = build_network("WBFC-3VC", Torus((8, 8)), cfg)
+    ejected = _saturating_run(net, "UR", 0.5, 4_000, seed=11)
+    assert ejected > 0

@@ -1,0 +1,100 @@
+"""Delivery correctness: no loss, no misrouting, flit ordering, latency sanity."""
+
+import pytest
+
+from repro.experiments.designs import PAPER_DESIGNS, build_network
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.lengths import BimodalLength
+from repro.traffic.patterns import UniformRandom, make_pattern
+from tests.conftest import run_traffic
+
+
+@pytest.mark.parametrize("design", PAPER_DESIGNS)
+def test_every_offered_packet_arrives(design):
+    net = build_network(design, Torus((4, 4)))
+    wl = SyntheticTraffic(UniformRandom(net.topology), 0.15, seed=13)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=20_000))
+    sim.run(2_000)
+    wl.packet_probability = 0.0
+    assert sim.drain(100_000), "network failed to drain"
+    assert net.packets_ejected == wl.packets_created
+
+
+def test_packets_arrive_at_their_destination():
+    net = build_network("WBFC-2VC", Torus((4, 4)))
+    seen = []
+    net.ejection_listeners.append(lambda p, c: seen.append(p))
+    run_traffic(net, 0.2, 3_000, seed=2)
+    assert len(seen) > 200
+    # Network._eject raises on misrouting; verify bookkeeping here too.
+    for p in seen:
+        assert p.ejected_cycle is not None
+        assert p.injected_cycle is not None
+        assert p.ejected_cycle > p.injected_cycle >= p.created_cycle
+
+
+def test_minimal_routing_hop_counts():
+    net = build_network("WBFC-1VC", Torus((4, 4)))
+    topo = net.topology
+    seen = []
+    net.ejection_listeners.append(lambda p, c: seen.append(p))
+    run_traffic(net, 0.05, 3_000, seed=2)
+    assert seen
+    for p in seen:
+        # hops counts router-buffer entries: distance hops (the ejection
+        # does not increment it; the first buffer entry does)
+        assert p.hops == topo.min_distance(p.src, p.dst)
+
+
+def test_adaptive_routing_is_still_minimal():
+    net = build_network("WBFC-3VC", Torus((4, 4)))
+    topo = net.topology
+    seen = []
+    net.ejection_listeners.append(lambda p, c: seen.append(p))
+    run_traffic(net, 0.4, 3_000, seed=2)
+    assert seen
+    for p in seen:
+        assert p.hops == topo.min_distance(p.src, p.dst)
+
+
+def test_zero_load_latency_sanity():
+    """A lone packet's latency = per-hop pipeline x hops + serialization."""
+    net = build_network("WBFC-1VC", Torus((4, 4)))
+    from repro.network.flit import Packet
+
+    p = Packet(pid=1, src=0, dst=2, length=5, created_cycle=0)
+    net.nics[0].offer(p)
+    sim = Simulator(net)
+    sim.run(200)
+    assert p.ejected_cycle is not None
+    cfg = net.config
+    hop = cfg.zero_load_hop_cycles
+    # 2 hops + ejection path + 4 extra flits of serialization; allow slack
+    expected_min = 2 * hop + (p.length - 1)
+    assert expected_min <= p.latency <= expected_min + 3 * hop
+
+
+def test_latency_monotonic_in_load():
+    from repro.metrics.sweep import sweep
+
+    curve = sweep(
+        "DL-2VC",
+        lambda: Torus((4, 4)),
+        "UR",
+        [0.02, 0.15, 0.25],
+        warmup=500,
+        measure=2_000,
+    )
+    lat = [p.summary.avg_latency for p in curve.points]
+    assert lat[0] < lat[1] < lat[2]
+
+
+def test_bimodal_lengths_delivered_intact():
+    net = build_network("DL-2VC", Torus((4, 4)))
+    lengths = []
+    net.ejection_listeners.append(lambda p, c: lengths.append(p.length))
+    run_traffic(net, 0.2, 2_500, lengths=BimodalLength(), seed=4)
+    assert set(lengths) == {1, 5}

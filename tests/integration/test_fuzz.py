@@ -1,0 +1,73 @@
+"""Fuzz-style integration: random packet sets must always fully deliver.
+
+Hypothesis drives random (src, dst, length, time) packet batches through
+every paper design; the oracle is total delivery after drain plus WBFC
+token conservation.  This is the closest thing to a model-checking sweep
+the simulator affords.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.invariants import check_invariants
+from repro.network.flit import Packet
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from tests.conftest import make_torus_network
+
+packet_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),  # src
+        st.integers(min_value=0, max_value=15),  # dst
+        st.sampled_from([1, 2, 5]),  # length
+        st.integers(min_value=0, max_value=60),  # offer cycle
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class BatchWorkload:
+    def __init__(self, batch):
+        self.batch = sorted(batch, key=lambda t: t[3])
+        self.offered = 0
+
+    def step(self, cycle, network):
+        while self.offered < len(self.batch) and self.batch[self.offered][3] <= cycle:
+            src, dst, length, _ = self.batch[self.offered]
+            self.offered += 1
+            if src == dst:
+                continue
+            network.nics[src].offer(
+                Packet(pid=self.offered, src=src, dst=dst, length=length, created_cycle=cycle)
+            )
+
+
+def _run_batch(design, batch, check_tokens):
+    net = make_torus_network(design)
+    wl = BatchWorkload(batch)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=20_000))
+    sim.run(80)
+    assert sim.drain(60_000), f"{design} failed to drain"
+    expected = sum(1 for s, d, _, _ in batch if s != d)
+    assert net.packets_ejected == expected
+    if check_tokens:
+        check_invariants(net)
+
+
+@settings(max_examples=15, deadline=None)
+@given(batch=packet_strategy)
+def test_wbfc_1vc_delivers_everything(batch):
+    _run_batch("WBFC-1VC", batch, check_tokens=True)
+
+
+@settings(max_examples=10, deadline=None)
+@given(batch=packet_strategy)
+def test_wbfc_3vc_delivers_everything(batch):
+    _run_batch("WBFC-3VC", batch, check_tokens=True)
+
+
+@settings(max_examples=10, deadline=None)
+@given(batch=packet_strategy)
+def test_dateline_delivers_everything(batch):
+    _run_batch("DL-2VC", batch, check_tokens=False)

@@ -1,0 +1,83 @@
+"""Regression tests for every wedge found during development.
+
+Each of these configurations deadlocked at some point while the passage
+rule and liveness valves were being worked out (see docs/THEORY.md); they
+are pinned here so no future change silently reopens one.
+"""
+
+import pytest
+
+from repro.core.invariants import check_invariants
+from repro.experiments.designs import build_network
+from repro.network.network import Network
+from repro.routing.ring_routing import RingRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.ring import UnidirectionalRing
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+from repro.core.wbfc import WormBubbleFlowControl
+
+
+def _survives(net, pattern, rate, cycles, seed, check_tokens=True):
+    wl = SyntheticTraffic(make_pattern(pattern, net.topology), rate, seed=seed)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=3_000))
+    sim.run(cycles)
+    assert net.packets_ejected > 0
+    if check_tokens:
+        check_invariants(net)
+
+
+def test_wedge1_standalone_ring_sustained_load():
+    """The original Equation-(4) wedge arena: an 8-ring at medium load."""
+    ring = UnidirectionalRing(8)
+    net = Network(
+        ring, RingRouting(ring), WormBubbleFlowControl(), SimulationConfig(num_vcs=1)
+    )
+    _survives(net, "UR", 0.10, 12_000, seed=3)
+
+
+def test_wedge2_tornado_adaptive_8x8():
+    """Cross-ring turn cycle: WBFC-3VC, 8x8 tornado (sticky-escape fix)."""
+    net = build_network("WBFC-3VC", Torus((8, 8)))
+    _survives(net, "TO", 0.6, 8_000, seed=3)
+
+
+def test_wedge3_one_flit_buffers_gray_budget():
+    """Under-budgeted gray admissions: WBFC-3VC, 8x8, 1-flit buffers."""
+    net = build_network("WBFC-3VC", Torus((8, 8)), SimulationConfig(buffer_depth=1))
+    _survives(net, "UR", 0.4, 8_000, seed=9)
+
+
+def test_wedge4_packet_fits_buffer_gray_grab():
+    """ML == 1 regime: 5-flit buffers where a transit gray *grab* would
+    consume the ring's only token (the debt-vs-grab distinction)."""
+    net = build_network("WBFC-3VC", Torus((8, 8)), SimulationConfig(buffer_depth=5))
+    _survives(net, "UR", 0.5, 6_000, seed=11)
+
+
+def test_wedge5_black_walls_on_small_ring():
+    """Marked-bubble walls with banked rights at occupied watches
+    (the CI-drift fix): 4x4 torus, every node injecting long packets."""
+    from repro.traffic.lengths import FixedLength
+
+    net = build_network("WBFC-1VC", Torus((4, 4)))
+    wl = SyntheticTraffic(
+        make_pattern("UR", net.topology), 0.3, lengths=FixedLength(5), seed=0
+    )
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=3_000))
+    sim.run(12_000)
+    assert net.packets_ejected > 0
+    check_invariants(net)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_wedge_seeds_sweep_minimal_design(seed):
+    """The minimal design across the seeds the literal variant dies on."""
+    ring = UnidirectionalRing(8)
+    net = Network(
+        ring, RingRouting(ring), WormBubbleFlowControl(), SimulationConfig(num_vcs=1)
+    )
+    _survives(net, "UR", 0.15, 10_000, seed=seed)

@@ -1,0 +1,74 @@
+"""Cross-cutting switching-mode comparisons (the paper's Section 2 frame).
+
+The paper motivates wormhole by buffer cost and VCT by simplicity; these
+tests pin the structural consequences in our simulator: VCT needs
+packet-sized buffers but admits whole packets, wormhole runs on 1-flit
+buffers, and both deliver identical packet sets for identical offered
+traffic (recorded with the trace machinery).
+"""
+
+from repro.flowcontrol.cbs import CriticalBubbleScheme
+from repro.network.network import Network
+from repro.network.switching import Switching
+from repro.routing.dor import DimensionOrderRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.trace import TraceRecorder
+from tests.conftest import make_torus_network
+
+
+def _vct_net():
+    topo = Torus((4, 4))
+    cfg = SimulationConfig(num_vcs=1, buffer_depth=5, switching=Switching.VCT)
+    return Network(topo, DimensionOrderRouting(topo), CriticalBubbleScheme(), cfg)
+
+
+def test_same_offered_trace_delivered_by_both_switching_modes():
+    # record an offered stream on the wormhole network
+    worm = make_torus_network("WBFC-1VC")
+    recorder = TraceRecorder(SyntheticTraffic(UniformRandom(worm.topology), 0.08, seed=21))
+    sim = Simulator(worm, recorder, watchdog=Watchdog(worm, deadlock_window=20_000))
+    sim.run(1_500)
+    recorder.inner.packet_probability = 0.0
+    assert sim.drain(80_000)
+    offered = len(recorder.trace.entries)
+    assert worm.packets_ejected == offered
+
+    # replay the identical stream through the VCT/CBS network
+    vct = _vct_net()
+    trace = recorder.trace
+    trace.reset()
+    sim2 = Simulator(vct, trace, watchdog=Watchdog(vct, deadlock_window=20_000))
+    sim2.run(1_500)
+    assert sim2.drain(80_000)
+    assert vct.packets_ejected == offered
+
+
+def test_vct_single_packet_latency_not_worse_than_wormhole_at_zero_load():
+    """With empty networks both modes cut through at flit granularity."""
+    from repro.network.flit import Packet
+
+    results = {}
+    for name, net in (("worm", make_torus_network("WBFC-1VC")), ("vct", _vct_net())):
+        p = Packet(pid=1, src=0, dst=2, length=5, created_cycle=0)
+        net.nics[0].offer(p)
+        Simulator(net).run(120)
+        assert p.ejected_cycle is not None
+        results[name] = p.latency
+    assert abs(results["vct"] - results["worm"]) <= 10
+
+
+def test_wormhole_runs_on_one_flit_buffers_vct_cannot():
+    import pytest
+
+    # wormhole with 1-flit buffers is legal (the paper's headline claim);
+    # rings must satisfy k >= ML + 1 = 6, hence the 8x8 torus
+    net = make_torus_network("WBFC-3VC", radix=8, buffer_depth=1)
+    assert net.config.buffer_depth == 1
+    # VCT with 1-flit buffers is rejected outright
+    with pytest.raises(ValueError):
+        SimulationConfig(num_vcs=1, buffer_depth=1, switching=Switching.VCT)

@@ -1,0 +1,49 @@
+"""Report writer and the experiments CLI."""
+
+import pytest
+
+from repro.metrics.report import ExperimentReport
+
+
+def test_markdown_structure():
+    report = ExperimentReport()
+    report.add("fig1", "Figure 1", "a  b\n1  2")
+    report.add("fig2", "Figure 2", "body")
+    md = report.to_markdown()
+    assert md.startswith("# Worm-Bubble Flow Control")
+    assert "## Figure 1" in md and "## Figure 2" in md
+    assert "```text" in md
+
+
+def test_write_creates_report_and_csvs(tmp_path):
+    report = ExperimentReport()
+    report.add(
+        "figX",
+        "Figure X",
+        "body",
+        csv_header=["a", "b"],
+        csv_rows=[[1, 2], [3, 4]],
+    )
+    report.add("figY", "Figure Y", "no csv")
+    path = report.write(tmp_path)
+    assert path.read_text().startswith("# ")
+    assert (tmp_path / "figX.csv").read_text().splitlines() == ["a,b", "1,2", "3,4"]
+    assert not (tmp_path / "figY.csv").exists()
+
+
+def test_cli_subset(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    rc = main(["--only", "table1", "fig14", "--out", str(tmp_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Figure 14" in out
+    assert (tmp_path / "report.md").exists()
+
+
+def test_cli_rejects_unknown_experiment():
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["--only", "fig99"])

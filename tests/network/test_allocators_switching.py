@@ -1,0 +1,103 @@
+"""Round-robin arbiters, switching modes, and hub bridges."""
+
+import pytest
+
+from repro.network.allocators import RoundRobinArbiter
+from repro.network.switching import Switching
+
+
+class TestRoundRobinArbiter:
+    def test_empty_returns_none(self):
+        assert RoundRobinArbiter().pick([]) is None
+
+    def test_single_requester_always_wins(self):
+        arb = RoundRobinArbiter()
+        for _ in range(5):
+            assert arb.pick(["a"]) == "a"
+
+    def test_priority_rotates(self):
+        arb = RoundRobinArbiter()
+        grants = [arb.pick(["a", "b", "c"]) for _ in range(6)]
+        assert grants == ["a", "b", "c", "a", "b", "c"]
+
+    def test_every_requester_eventually_served(self):
+        arb = RoundRobinArbiter()
+        served = set()
+        for _ in range(10):
+            served.add(arb.pick(["x", "y"]))
+        assert served == {"x", "y"}
+
+    def test_rotated_preserves_elements(self):
+        arb = RoundRobinArbiter()
+        items = [1, 2, 3, 4]
+        out = arb.rotated(items)
+        assert sorted(out) == items
+        assert arb.rotated([]) == []
+
+
+class TestSwitching:
+    def test_atomicity_flags(self):
+        assert Switching.WORMHOLE_ATOMIC.is_atomic
+        assert not Switching.VCT.is_atomic
+        assert not Switching.WORMHOLE_NONATOMIC.is_atomic
+
+
+class TestHierarchicalBridges:
+    def _setup(self):
+        from repro.core.wbfc import WormBubbleFlowControl
+        from repro.network.bridges import HierarchicalBridges
+        from repro.network.network import Network
+        from repro.routing.ring_routing import HierarchicalRingRouting
+        from repro.sim.config import SimulationConfig
+        from repro.topology.hierarchical_ring import HierarchicalRing
+
+        topo = HierarchicalRing(3, 4)
+        net = Network(
+            topo,
+            HierarchicalRingRouting(topo),
+            WormBubbleFlowControl(),
+            SimulationConfig(num_vcs=1),
+        )
+        return net, HierarchicalBridges(net)
+
+    def test_same_ring_journey_is_single_segment(self):
+        from repro.sim.deadlock import Watchdog
+        from repro.sim.engine import Simulator
+
+        net, bridges = self._setup()
+        j = bridges.send(1, 3, 5, cycle=0)
+        Simulator(net, watchdog=Watchdog(net, deadlock_window=10_000)).run(200)
+        assert j.delivered_cycle is not None
+        assert j.segments_done == 1
+
+    def test_cross_ring_journey_uses_three_segments(self):
+        from repro.sim.deadlock import Watchdog
+        from repro.sim.engine import Simulator
+
+        net, bridges = self._setup()
+        j = bridges.send(1, 6, 5, cycle=0)  # ring 0 pos 1 -> ring 1 pos 2
+        Simulator(net, watchdog=Watchdog(net, deadlock_window=10_000)).run(600)
+        assert j.delivered_cycle is not None
+        assert j.segments_done == 3  # to hub, across, to destination
+
+    def test_hub_to_hub_journey_is_single_global_segment(self):
+        from repro.sim.deadlock import Watchdog
+        from repro.sim.engine import Simulator
+
+        net, bridges = self._setup()
+        j = bridges.send(0, 4, 1, cycle=0)  # hub of ring 0 -> hub of ring 1
+        Simulator(net, watchdog=Watchdog(net, deadlock_window=10_000)).run(200)
+        assert j.delivered_cycle is not None
+        assert j.segments_done == 1
+
+    def test_requires_hierarchical_topology(self):
+        from repro.network.bridges import HierarchicalBridges
+        from tests.conftest import make_torus_network
+
+        with pytest.raises(TypeError):
+            HierarchicalBridges(make_torus_network())
+
+    def test_in_flight_accounting(self):
+        net, bridges = self._setup()
+        bridges.send(1, 6, 5, cycle=0)
+        assert bridges.in_flight == 1

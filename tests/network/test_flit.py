@@ -1,0 +1,54 @@
+"""Packets and flits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.flit import Flit, FlitType, Packet
+
+
+def test_single_flit_packet_is_head_and_tail():
+    p = Packet(pid=1, src=0, dst=1, length=1)
+    flits = p.make_flits()
+    assert len(flits) == 1
+    assert flits[0].ftype is FlitType.HEAD_TAIL
+    assert flits[0].is_head and flits[0].is_tail
+
+
+def test_multi_flit_train_structure():
+    p = Packet(pid=1, src=0, dst=1, length=5)
+    flits = p.make_flits()
+    assert [f.ftype for f in flits] == [
+        FlitType.HEAD,
+        FlitType.BODY,
+        FlitType.BODY,
+        FlitType.BODY,
+        FlitType.TAIL,
+    ]
+    assert [f.index for f in flits] == list(range(5))
+    assert flits[0].is_head and not flits[0].is_tail
+    assert flits[-1].is_tail and not flits[-1].is_head
+
+
+@given(st.integers(min_value=1, max_value=32))
+def test_flit_train_length_matches(length):
+    p = Packet(pid=0, src=0, dst=1, length=length)
+    flits = p.make_flits()
+    assert len(flits) == length
+    assert sum(1 for f in flits if f.is_head) == 1
+    assert sum(1 for f in flits if f.is_tail) == 1
+
+
+def test_latency_none_until_ejected():
+    p = Packet(pid=1, src=0, dst=1, length=1, created_cycle=10)
+    assert p.latency is None
+    p.ejected_cycle = 35
+    assert p.latency == 25
+
+
+def test_flits_identity_compared():
+    p = Packet(pid=1, src=0, dst=1, length=2)
+    a, b = p.make_flits()
+    assert a != b
+    assert a == a
+    assert len({a, b}) == 2

@@ -1,0 +1,94 @@
+"""Network assembly: wiring, event plumbing, snapshots, listeners."""
+
+import pytest
+
+from repro.network.flit import Packet
+from repro.sim.engine import Simulator
+from repro.topology.base import LOCAL_PORT
+from tests.conftest import make_torus_network
+
+
+class TestWiring:
+    def test_every_channel_has_mirrors_and_feeders(self):
+        net = make_torus_network("DL-3VC")
+        for src, out_port, dst, in_port in net.topology.channels():
+            outs = net.routers[src].outputs[out_port]
+            assert outs is not None and len(outs) == 3
+            for vc, ovc in enumerate(outs):
+                ivc = net.input_vc(dst, in_port, vc)
+                assert ovc.downstream is ivc
+                assert ivc.feeder is ovc
+
+    def test_local_output_port_unwired(self):
+        net = make_torus_network()
+        assert net.routers[0].outputs[LOCAL_PORT] is None
+
+    def test_escape_flags_follow_config(self):
+        net = make_torus_network("DL-3VC")
+        for ivc in net.all_input_vcs():
+            if ivc.port == LOCAL_PORT:
+                continue
+            assert ivc.is_escape == (ivc.vc < 2)
+
+    def test_ring_labels_on_escape_vcs_only(self):
+        net = make_torus_network("WBFC-3VC")
+        for ivc in net.all_input_vcs():
+            if ivc.port == LOCAL_PORT:
+                continue
+            if ivc.vc == 0:
+                assert ivc.ring_id is not None
+            else:
+                assert ivc.ring_id is None  # adaptive VCs carry no ring
+
+
+class TestEventPlumbing:
+    def test_misrouted_ejection_raises(self):
+        net = make_torus_network()
+        p = Packet(pid=1, src=0, dst=5, length=1)
+        flit = p.make_flits()[0]
+        net.schedule_ejection(2, flit, 1)  # wrong node on purpose
+        with pytest.raises(RuntimeError, match="destination"):
+            net.step(0)
+            net.step(1)
+
+    def test_ejection_listener_called_once_per_packet(self):
+        net = make_torus_network()
+        seen = []
+        net.ejection_listeners.append(lambda p, c: seen.append(p.pid))
+        p = Packet(pid=7, src=0, dst=2, length=5)
+        net.nics[0].offer(p)
+        Simulator(net).run(60)
+        assert seen == [7]
+
+    def test_occupancy_snapshot_tracks_everything(self):
+        net = make_torus_network()
+        p = Packet(pid=1, src=0, dst=2, length=5)
+        net.nics[0].offer(p)
+        snap = net.occupancy_snapshot()
+        assert snap["backlog"] == 1 and snap["buffered"] == 0
+        sim = Simulator(net)
+        sim.run(12)  # the WBFC long-packet injection needs a few cycles
+        snap = net.occupancy_snapshot()
+        assert snap["in_network"] > 0
+        sim.run(60)
+        snap = net.occupancy_snapshot()
+        assert snap == {"buffered": 0, "in_network": 0, "backlog": 0}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("design", ["WBFC-1VC", "DL-3VC", "WBFC-3VC"])
+    def test_bitwise_repeatability(self, design):
+        from tests.conftest import run_traffic
+
+        def fingerprint():
+            net = make_torus_network(design)
+            _, mc = run_traffic(net, 0.25, 1_200, seed=17)
+            s = mc.summary()
+            return (
+                net.packets_ejected,
+                s.avg_latency,
+                s.avg_injection_delay,
+                dict(net.activity),
+            )
+
+        assert fingerprint() == fingerprint()

@@ -1,0 +1,47 @@
+"""Energy-model shape checks tied to live simulations."""
+
+import pytest
+
+from repro.power.energy import network_energy
+from tests.conftest import make_torus_network, run_traffic
+
+
+def test_dynamic_energy_scales_with_traffic():
+    light = make_torus_network("DL-2VC")
+    run_traffic(light, 0.05, 2_000)
+    heavy = make_torus_network("DL-2VC")
+    run_traffic(heavy, 0.20, 2_000)
+    e_light = network_energy(light, 2_000)
+    e_heavy = network_energy(heavy, 2_000)
+    assert e_heavy.dynamic > 2 * e_light.dynamic
+    # static terms are identical for identical hardware and duration
+    assert e_heavy.buffer_static == pytest.approx(e_light.buffer_static)
+
+
+def test_static_dominates_at_low_load():
+    """Figure 1(b)'s implication: leakage is the bulk at light traffic."""
+    net = make_torus_network("DL-3VC")
+    run_traffic(net, 0.02, 2_000)
+    e = network_energy(net, 2_000)
+    static = e.buffer_static + e.ctrl_static + e.xbar_static
+    assert static > e.dynamic
+
+
+def test_same_traffic_fewer_vcs_less_total_energy():
+    """The paper's core energy claim at matched workload."""
+    a = make_torus_network("WBFC-1VC")
+    run_traffic(a, 0.05, 2_000, seed=3)
+    b = make_torus_network("DL-3VC")
+    run_traffic(b, 0.05, 2_000, seed=3)
+    e_a = network_energy(a, 2_000)
+    e_b = network_energy(b, 2_000)
+    assert e_a.total < e_b.total
+
+
+def test_energy_accumulates_monotonically():
+    net = make_torus_network("WBFC-2VC")
+    run_traffic(net, 0.1, 1_000)
+    early = network_energy(net, 1_000).dynamic
+    run_traffic(net, 0.1, 1_000)  # same network keeps counting activity
+    late = network_energy(net, 2_000).dynamic
+    assert late > early

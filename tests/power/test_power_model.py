@@ -1,0 +1,126 @@
+"""Area/power model: calibration targets from Figures 1 and 14."""
+
+import pytest
+
+from repro.power import technology as tech
+from repro.power.energy import EnergyBreakdown, dynamic_energy, network_energy
+from repro.power.orion import RouterParams, router_area, router_static_power
+
+
+class TestAreaModel:
+    def test_figure1_buffer_shares(self):
+        a3 = router_area(RouterParams(num_vcs=3))
+        a2 = router_area(RouterParams(num_vcs=2))
+        assert a3.shares()["buffer"] == pytest.approx(0.43, abs=0.01)
+        assert a2.shares()["buffer"] == pytest.approx(0.35, abs=0.01)
+
+    def test_total_area_matches_figure1_scale(self):
+        a3 = router_area(RouterParams(num_vcs=3))
+        assert a3.total == pytest.approx(4.4e5, rel=0.05)  # um^2
+
+    def test_figure14_wbfc1_vs_dl2(self):
+        wb1 = router_area(RouterParams(num_vcs=1, has_wbfc=True))
+        dl2 = router_area(RouterParams(num_vcs=2))
+        assert 1 - wb1.buffer / dl2.buffer == pytest.approx(0.50, abs=0.02)
+        assert 1 - wb1.ctrl / dl2.ctrl == pytest.approx(0.61, abs=0.03)
+        assert 1 - wb1.total / dl2.total == pytest.approx(0.17, abs=0.02)
+
+    def test_figure14_wbfc2_vs_dl3(self):
+        wb2 = router_area(RouterParams(num_vcs=2, has_wbfc=True))
+        dl3 = router_area(RouterParams(num_vcs=3))
+        assert 1 - wb2.buffer / dl3.buffer == pytest.approx(0.33, abs=0.02)
+        assert 1 - wb2.total / dl3.total == pytest.approx(0.15, abs=0.02)
+
+    def test_wbfc_overhead_share(self):
+        wb3 = router_area(RouterParams(num_vcs=3, has_wbfc=True))
+        assert wb3.overhead / wb3.total == pytest.approx(0.034, abs=0.008)
+
+    def test_buffer_area_scales_with_depth_and_width(self):
+        base = router_area(RouterParams(num_vcs=2, buffer_depth=3))
+        deep = router_area(RouterParams(num_vcs=2, buffer_depth=6))
+        wide = router_area(RouterParams(num_vcs=2, flit_bits=256))
+        assert deep.buffer == pytest.approx(2 * base.buffer)
+        assert wide.buffer == pytest.approx(2 * base.buffer)
+        assert deep.ctrl == base.ctrl  # control logic does not scale with depth
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RouterParams(num_vcs=0)
+        with pytest.raises(ValueError):
+            RouterParams(buffer_depth=0)
+
+
+class TestStaticPower:
+    def test_buffer_static_linear_in_vcs(self):
+        # paper: 0.087 W @ 3 VC, 0.058 @ 2, 0.029 @ 1
+        for v, watts in ((3, 0.087), (2, 0.058), (1, 0.029)):
+            p = router_static_power(RouterParams(num_vcs=v))
+            assert p.buffer_static == pytest.approx(watts, rel=0.01)
+
+    def test_control_static_drops_with_vcs(self):
+        p3 = router_static_power(RouterParams(num_vcs=3))
+        p1 = router_static_power(RouterParams(num_vcs=1))
+        assert p1.ctrl_static < 0.5 * p3.ctrl_static  # "more than halved"
+
+    def test_wbfc_overhead_adds_leakage(self):
+        plain = router_static_power(RouterParams(num_vcs=1))
+        wbfc = router_static_power(RouterParams(num_vcs=1, has_wbfc=True))
+        assert wbfc.ctrl_static > plain.ctrl_static
+
+
+class TestDynamicEnergy:
+    def test_counts_scale_linearly(self):
+        one = dynamic_energy({"buffer_writes": 1})
+        many = dynamic_energy({"buffer_writes": 1000})
+        assert many == pytest.approx(1000 * one)
+
+    def test_all_event_types_contribute(self):
+        for key in (
+            "buffer_writes",
+            "buffer_reads",
+            "xbar_traversals",
+            "link_traversals",
+            "va_grants",
+        ):
+            assert dynamic_energy({key: 1}) > 0
+
+    def test_width_scaling(self):
+        narrow = dynamic_energy({"xbar_traversals": 10}, flit_bits=64)
+        wide = dynamic_energy({"xbar_traversals": 10}, flit_bits=128)
+        assert wide == pytest.approx(2 * narrow)
+
+
+class TestNetworkEnergy:
+    def test_network_energy_from_run(self):
+        from tests.conftest import make_torus_network, run_traffic
+
+        net = make_torus_network("WBFC-1VC")
+        run_traffic(net, 0.1, 2_000)
+        e = network_energy(net, 2_000)
+        assert e.dynamic > 0
+        assert e.buffer_static > 0
+        assert e.total == pytest.approx(
+            e.dynamic + e.buffer_static + e.ctrl_static + e.xbar_static
+        )
+
+    def test_wbfc_sniffing(self):
+        from tests.conftest import make_torus_network
+
+        net = make_torus_network("WBFC-1VC")
+        e_wbfc = network_energy(net, 1_000)
+        e_plain = network_energy(net, 1_000, has_wbfc=False)
+        assert e_wbfc.ctrl_static > e_plain.ctrl_static
+
+    def test_static_energy_proportional_to_time(self):
+        from tests.conftest import make_torus_network
+
+        net = make_torus_network("DL-2VC")
+        e1 = network_energy(net, 1_000)
+        e2 = network_energy(net, 2_000)
+        assert e2.buffer_static == pytest.approx(2 * e1.buffer_static)
+
+    def test_normalization(self):
+        a = EnergyBreakdown(1.0, 1.0, 1.0, 1.0)
+        b = EnergyBreakdown(2.0, 2.0, 2.0, 2.0)
+        norm = a.normalized_to(b)
+        assert norm["total"] == pytest.approx(0.5)

@@ -1,0 +1,89 @@
+"""Behavioural checks of Duato's protocol in the live router.
+
+Adaptive VCs must be preferred, the escape path must remain available
+under congestion, and a head continuing along a ring's escape VC must not
+detour to adaptive VCs (the sticky-escape rule that closes the
+partial-re-entry liveness hole — see repro.core.wbfc module notes).
+"""
+
+from repro.network.buffers import VCState
+from repro.network.flit import Packet
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from tests.conftest import make_torus_network, run_traffic
+
+
+def test_adaptive_vcs_preferred_at_injection():
+    net = make_torus_network("WBFC-3VC")
+    p = Packet(pid=1, src=0, dst=5, length=5)
+    net.nics[0].offer(p)
+    sim = Simulator(net)
+    sim.run(4)  # RC + VA complete
+    src = net.routers[0].inputs[0][0]
+    assert src.state is VCState.ACTIVE
+    # with free adaptive VCs the escape VC (index 0) must not be chosen
+    assert src.out_vc is not None and src.out_vc >= net.config.num_escape_vcs
+
+
+def test_escape_used_when_adaptive_exhausted():
+    net = make_torus_network("WBFC-2VC")
+    # occupy the adaptive VC toward +x from node 0 by saturating it
+    outs = net.routers[0].outputs[1]
+    outs[1].allocated_to = Packet(pid=99, src=0, dst=1, length=5)
+    p = Packet(pid=1, src=0, dst=1, length=1)  # short: immediate injection
+    net.nics[0].offer(p)
+    sim = Simulator(net)
+    sim.run(3)  # staged, RC, VA — but not yet sent
+    src = net.routers[0].inputs[0][0]
+    assert src.state is VCState.ACTIVE
+    assert src.out_vc == 0  # fell back to the escape VC
+
+
+def test_in_ring_heads_stay_on_escape():
+    """Sticky escape: no escape->adaptive detours inside a ring."""
+    net = make_torus_network("WBFC-3VC")
+    violations = []
+
+    def check(cycle):
+        for router in net.routers:
+            for port_list in router.inputs[1:]:
+                ivc = port_list[0]  # escape VC
+                if (
+                    ivc.state is VCState.ACTIVE
+                    and ivc.ring_id is not None
+                    and ivc.out_port not in (None, 0)
+                    and ivc.out_vc is not None
+                ):
+                    # continuing in the same ring? then the target must be
+                    # the escape VC
+                    same_ring = net.flow_control.ring_of_output.get(
+                        (router.node, ivc.out_port)
+                    ) == ivc.ring_id
+                    if same_ring and ivc.out_vc >= net.config.num_escape_vcs:
+                        violations.append((router.node, ivc.label()))
+
+    run_traffic(net, 0.4, 1_500, listeners=[check])
+    assert not violations
+
+
+def test_adaptive_share_dominates_under_duato():
+    """Paper 5.3: most packets travel on adaptive VCs when available."""
+    net = make_torus_network("WBFC-2VC")
+    adaptive_grants = escape_grants = 0
+    original = type(net.routers[0])._grant
+
+    def counting_grant(self, ivc, packet, out_port, out_vc, is_escape_hop, in_ring, cycle):
+        nonlocal adaptive_grants, escape_grants
+        if out_port != 0:
+            if is_escape_hop:
+                escape_grants += 1
+            else:
+                adaptive_grants += 1
+        return original(self, ivc, packet, out_port, out_vc, is_escape_hop, in_ring, cycle)
+
+    type(net.routers[0])._grant = counting_grant
+    try:
+        run_traffic(net, 0.15, 2_000)
+    finally:
+        type(net.routers[0])._grant = original
+    assert adaptive_grants > escape_grants

@@ -1,0 +1,142 @@
+"""Routing functions: DOR, Duato adaptive, ring routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.flit import Packet
+from repro.routing.dor import DimensionOrderRouting
+from repro.routing.duato import DuatoAdaptiveRouting
+from repro.routing.ring_routing import HierarchicalRingRouting, RingRouting
+from repro.topology.base import LOCAL_PORT
+from repro.topology.hierarchical_ring import HR_GLOBAL_PORT, HR_LOCAL_PORT, HierarchicalRing
+from repro.topology.mesh import Mesh
+from repro.topology.ring import RING_BWD_PORT, RING_FWD_PORT, BidirectionalRing, UnidirectionalRing
+from repro.topology.torus import Torus, port_dim, port_index
+
+
+def _pkt(src, dst):
+    return Packet(pid=0, src=src, dst=dst, length=1)
+
+
+class TestDOR:
+    def test_at_destination_returns_local(self, torus44):
+        r = DimensionOrderRouting(torus44)
+        assert r.escape_port(5, _pkt(5, 5)) == LOCAL_PORT
+
+    def test_x_before_y(self, torus44):
+        r = DimensionOrderRouting(torus44)
+        # from (0,0) to (1,1): resolve x first
+        port = r.escape_port(0, _pkt(0, torus44.node_at((1, 1))))
+        assert port_dim(port) == 0
+
+    def test_walk_terminates_at_destination(self, torus44):
+        r = DimensionOrderRouting(torus44)
+        for src in range(16):
+            for dst in range(16):
+                node, hops = src, 0
+                pkt = _pkt(src, dst)
+                while node != dst:
+                    port = r.escape_port(node, pkt)
+                    assert port != LOCAL_PORT
+                    node, _ = torus44.neighbor(node, port)
+                    hops += 1
+                    assert hops <= 8, "DOR walk too long"
+                assert hops == torus44.min_distance(src, dst)
+
+    def test_requires_grid(self):
+        with pytest.raises(TypeError):
+            DimensionOrderRouting(UnidirectionalRing(4))
+
+
+class TestDuato:
+    def test_adaptive_ports_are_productive(self, torus44):
+        r = DuatoAdaptiveRouting(torus44)
+        for src in range(16):
+            for dst in range(16):
+                if src == dst:
+                    continue
+                pkt = _pkt(src, dst)
+                ports = r.adaptive_ports(src, pkt)
+                here = torus44.min_distance(src, dst)
+                for port in ports:
+                    nxt, _ = torus44.neighbor(src, port)
+                    assert torus44.min_distance(nxt, dst) == here - 1
+
+    def test_escape_matches_dor(self, torus44):
+        duato = DuatoAdaptiveRouting(torus44)
+        dor = DimensionOrderRouting(torus44)
+        for src in range(16):
+            for dst in range(16):
+                pkt = _pkt(src, dst)
+                assert duato.escape_port(src, pkt) == dor.escape_port(src, pkt)
+
+    def test_adaptive_count_matches_unresolved_dims(self, torus44):
+        r = DuatoAdaptiveRouting(torus44)
+        # (0,0) -> (1,1): both dims unresolved -> two choices
+        assert len(r.adaptive_ports(0, _pkt(0, torus44.node_at((1, 1))))) == 2
+        # (0,0) -> (1,0): one dim
+        assert len(r.adaptive_ports(0, _pkt(0, torus44.node_at((1, 0))))) == 1
+
+    def test_works_on_mesh(self):
+        m = Mesh((4, 4))
+        r = DuatoAdaptiveRouting(m)
+        ports = r.adaptive_ports(0, _pkt(0, 15))
+        assert len(ports) == 2
+
+
+class TestRingRouting:
+    def test_unidirectional_always_forward(self):
+        ring = UnidirectionalRing(8)
+        r = RingRouting(ring)
+        assert r.escape_port(0, _pkt(0, 5)) == RING_FWD_PORT
+        assert r.escape_port(5, _pkt(0, 5)) == LOCAL_PORT
+
+    def test_bidirectional_picks_shorter(self):
+        ring = BidirectionalRing(8)
+        r = RingRouting(ring)
+        assert r.escape_port(0, _pkt(0, 2)) == RING_FWD_PORT
+        assert r.escape_port(0, _pkt(0, 6)) == RING_BWD_PORT
+
+
+class TestHierarchicalRouting:
+    def test_route_phases(self):
+        topo = HierarchicalRing(4, 4)
+        r = HierarchicalRingRouting(topo)
+        # node 1 (ring 0) to node 6 (ring 1, pos 2)
+        pkt = _pkt(1, 6)
+        assert r.escape_port(1, pkt) == HR_LOCAL_PORT  # toward hub
+        assert r.escape_port(0, pkt) == HR_GLOBAL_PORT  # hub to hub
+        assert r.escape_port(4, pkt) == HR_LOCAL_PORT  # dest local ring
+        assert r.escape_port(6, pkt) == LOCAL_PORT
+
+    def test_walk_reaches_destination(self):
+        topo = HierarchicalRing(3, 4)
+        r = HierarchicalRingRouting(topo)
+        for src in range(topo.num_nodes):
+            for dst in range(topo.num_nodes):
+                node, hops = src, 0
+                pkt = _pkt(src, dst)
+                while node != dst:
+                    port = r.escape_port(node, pkt)
+                    node, _ = topo.neighbor(node, port)
+                    hops += 1
+                    assert hops <= 12
+                assert hops == topo.min_distance(src, dst)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_dor_walk_property_8x8(data):
+    """Property: DOR always reaches dst in exactly min-distance hops (8x8)."""
+    t = Torus((8, 8))
+    r = DimensionOrderRouting(t)
+    src = data.draw(st.integers(0, 63))
+    dst = data.draw(st.integers(0, 63))
+    pkt = _pkt(src, dst)
+    node, hops = src, 0
+    while node != dst:
+        node, _ = t.neighbor(node, r.escape_port(node, pkt))
+        hops += 1
+        assert hops <= 16
+    assert hops == t.min_distance(src, dst)

@@ -1,0 +1,138 @@
+"""Simulation core: config validation, engine, watchdog, RNG."""
+
+import pytest
+
+from repro.network.switching import Switching
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import DeadlockError, Watchdog
+from repro.sim.engine import Simulator
+from repro.sim.rng import make_rng, spawn_rng
+from tests.conftest import make_torus_network, run_traffic
+
+
+class TestConfig:
+    def test_defaults_match_table1(self):
+        cfg = SimulationConfig()
+        assert cfg.buffer_depth == 3
+        assert cfg.max_packet_length == 5
+        assert cfg.switching is Switching.WORMHOLE_ATOMIC
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vcs": 0},
+            {"buffer_depth": 0},
+            {"num_vcs": 1, "num_escape_vcs": 2},
+            {"max_packet_length": 0},
+            {"st_link_delay": 0},
+            {"credit_delay": -1},
+            {"buffer_depth": 3, "switching": Switching.VCT},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+    def test_derived_properties(self):
+        cfg = SimulationConfig(num_vcs=3, num_escape_vcs=1)
+        assert cfg.num_adaptive_vcs == 2
+        assert cfg.zero_load_hop_cycles == 4  # RC + VA + SA + ST/LT
+
+
+class TestEngine:
+    def test_run_advances_cycles(self):
+        net = make_torus_network()
+        sim = Simulator(net)
+        assert sim.run(100) == 100
+        assert sim.run(50) == 150
+
+    def test_run_until_predicate(self):
+        net = make_torus_network()
+        sim = Simulator(net)
+        assert sim.run_until(lambda: sim.cycle >= 10, 100)
+        assert not sim.run_until(lambda: False, 10)
+
+    def test_cycle_listeners_called_every_cycle(self):
+        net = make_torus_network()
+        sim = Simulator(net)
+        seen = []
+        sim.cycle_listeners.append(seen.append)
+        sim.run(20)
+        assert seen == list(range(20))
+
+    def test_deterministic_repeat(self):
+        def run_once():
+            net = make_torus_network("WBFC-2VC")
+            _, mc = run_traffic(net, 0.2, 1_500, seed=42)
+            return (net.packets_ejected, mc.summary().avg_latency)
+
+        assert run_once() == run_once()
+
+
+class TestWatchdog:
+    def test_idle_empty_network_is_fine(self):
+        net = make_torus_network()
+        sim = Simulator(net, watchdog=Watchdog(net, deadlock_window=5))
+        sim.run(100)  # no traffic, no flits: never trips
+
+    def test_raises_on_synthetic_stall(self):
+        net = make_torus_network()
+        # Place a flit in a buffer and freeze the routers by never calling
+        # phases — simulate via a watchdog observed directly.
+        from repro.network.flit import Packet
+
+        ivc = net.input_vc(1, 1, 0)
+        p = Packet(pid=1, src=0, dst=2, length=1)
+        ivc.owner = p
+        ivc.push(p.make_flits()[0])
+        wd = Watchdog(net, deadlock_window=3)
+        with pytest.raises(DeadlockError):
+            for c in range(10):
+                net.flits_moved_this_cycle = 0
+                wd.observe(c)
+
+    def test_flag_mode_does_not_raise(self):
+        net = make_torus_network()
+        from repro.network.flit import Packet
+
+        ivc = net.input_vc(1, 1, 0)
+        p = Packet(pid=1, src=0, dst=2, length=1)
+        ivc.owner = p
+        ivc.push(p.make_flits()[0])
+        wd = Watchdog(net, deadlock_window=3, raise_on_deadlock=False)
+        for c in range(10):
+            net.flits_moved_this_cycle = 0
+            wd.observe(c)
+        assert wd.deadlocked
+        assert wd.deadlock_detected_at is not None
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(5), make_rng(5)
+        assert list(a.integers(0, 100, 10)) == list(b.integers(0, 100, 10))
+
+    def test_spawn_independent_streams(self):
+        root = make_rng(5)
+        c1 = spawn_rng(root, 1)
+        root2 = make_rng(5)
+        c2 = spawn_rng(root2, 1)
+        assert list(c1.integers(0, 100, 10)) == list(c2.integers(0, 100, 10))
+
+    def test_different_streams_differ(self):
+        root = make_rng(5)
+        a, b = spawn_rng(root, 1), spawn_rng(root, 2)
+        assert list(a.integers(0, 1000, 20)) != list(b.integers(0, 1000, 20))
+
+
+class TestDiagnostics:
+    def test_blocked_heads_on_live_network(self):
+        from repro.sim.diagnostics import blocked_heads, format_blocked_heads
+
+        net = make_torus_network("WBFC-1VC")
+        run_traffic(net, 0.4, 500, deadlock_window=100_000)
+        records = blocked_heads(net)
+        # under saturating load there is always someone waiting
+        assert records
+        text = format_blocked_heads(net)
+        assert "blocked heads" in text

@@ -1,0 +1,29 @@
+"""The example scripts must at least import and expose a main()."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # guarded by __main__, runs nothing
+    assert callable(getattr(module, "main", None))
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "compare_designs",
+        "deadlock_demo",
+        "ring_topologies",
+        "parsec_workload",
+    } <= names

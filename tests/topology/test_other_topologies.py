@@ -1,0 +1,96 @@
+"""Mesh, ring, and hierarchical-ring topologies."""
+
+import pytest
+
+from repro.topology.base import LOCAL_PORT
+from repro.topology.hierarchical_ring import HR_GLOBAL_PORT, HR_LOCAL_PORT, HierarchicalRing
+from repro.topology.mesh import Mesh
+from repro.topology.ring import RING_FWD_PORT, BidirectionalRing, UnidirectionalRing
+from repro.topology.torus import port_index
+
+
+class TestMesh:
+    def test_no_rings(self):
+        assert Mesh((4, 4)).rings() == ()
+
+    def test_edges_unconnected(self):
+        m = Mesh((4, 4))
+        assert m.neighbor(3, port_index(0, +1)) is None  # x edge
+        assert m.neighbor(0, port_index(0, -1)) is None
+        assert m.neighbor(0, port_index(1, -1)) is None
+
+    def test_interior_neighbors(self):
+        m = Mesh((4, 4))
+        assert m.neighbor(5, port_index(0, +1)) == (6, port_index(0, +1))
+
+    def test_distance_is_manhattan(self):
+        m = Mesh((4, 4))
+        assert m.min_distance(0, 15) == 6
+        assert m.min_distance(0, 3) == 3
+
+    def test_validate(self):
+        Mesh((4, 4)).validate()
+        Mesh((3, 5)).validate()
+
+
+class TestUnidirectionalRing:
+    def test_single_ring_covers_all(self):
+        r = UnidirectionalRing(8)
+        rings = r.rings()
+        assert len(rings) == 1
+        assert [h.node for h in rings[0].hops] == list(range(8))
+
+    def test_distance_is_forward_only(self):
+        r = UnidirectionalRing(8)
+        assert r.min_distance(0, 1) == 1
+        assert r.min_distance(1, 0) == 7
+
+    def test_validate(self):
+        UnidirectionalRing(8).validate()
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            UnidirectionalRing(1)
+
+
+class TestBidirectionalRing:
+    def test_two_rings(self):
+        r = BidirectionalRing(6)
+        assert len(r.rings()) == 2
+        r.validate()
+
+    def test_distance_minimal(self):
+        r = BidirectionalRing(8)
+        assert r.min_distance(0, 3) == 3
+        assert r.min_distance(0, 6) == 2
+
+
+class TestHierarchicalRing:
+    def test_structure(self):
+        h = HierarchicalRing(4, 4)
+        assert h.num_nodes == 16
+        rings = h.rings()
+        assert len(rings) == 5  # 4 local + 1 global
+        h.validate()
+
+    def test_hubs(self):
+        h = HierarchicalRing(4, 4)
+        assert [h.hub_of(r) for r in range(4)] == [0, 4, 8, 12]
+        assert h.is_hub(0) and not h.is_hub(1)
+
+    def test_global_port_only_at_hubs(self):
+        h = HierarchicalRing(4, 4)
+        assert h.neighbor(0, HR_GLOBAL_PORT) == (4, HR_GLOBAL_PORT)
+        assert h.neighbor(1, HR_GLOBAL_PORT) is None
+
+    def test_min_distance(self):
+        h = HierarchicalRing(4, 4)
+        # same ring: forward distance
+        assert h.min_distance(1, 3) == 2
+        # cross-ring: to hub (3 hops from pos 1), 1 global, then local pos
+        assert h.min_distance(1, 6) == 3 + 1 + 2
+
+    def test_local_port_unconnected_output(self):
+        h = HierarchicalRing(2, 2)
+        assert h.neighbor(0, LOCAL_PORT) is None
+        assert h.neighbor(1, HR_LOCAL_PORT) == (0, HR_LOCAL_PORT)

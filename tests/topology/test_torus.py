@@ -1,0 +1,127 @@
+"""Torus topology: wiring, coordinates, rings, distances."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.base import LOCAL_PORT
+from repro.topology.torus import Torus, port_dim, port_dir, port_index
+
+
+def test_node_count_and_ports():
+    t = Torus((4, 4))
+    assert t.num_nodes == 16
+    assert t.num_ports == 5  # local + 4 directions
+
+
+def test_coords_roundtrip():
+    t = Torus((4, 8))
+    for node in range(t.num_nodes):
+        assert t.node_at(t.coords(node)) == node
+
+
+def test_port_index_helpers():
+    assert port_index(0, +1) == 1
+    assert port_index(0, -1) == 2
+    assert port_index(1, +1) == 3
+    for port in range(1, 5):
+        assert port_index(port_dim(port), port_dir(port)) == port
+
+
+def test_neighbor_wraparound():
+    t = Torus((4, 4))
+    # node 3 = (3, 0); +x neighbor wraps to (0, 0) = node 0
+    assert t.neighbor(3, port_index(0, +1)) == (0, port_index(0, +1))
+    assert t.neighbor(0, port_index(0, -1)) == (3, port_index(0, -1))
+
+
+def test_neighbor_local_port_is_unconnected():
+    t = Torus((4, 4))
+    assert t.neighbor(0, LOCAL_PORT) is None
+
+
+def test_validate_passes():
+    Torus((4, 4)).validate()
+    Torus((8, 8)).validate()
+    Torus((2, 3, 4)).validate()
+
+
+def test_ring_count_2d():
+    # per dimension: 2 directions x k lines
+    t = Torus((4, 4))
+    assert len(t.rings()) == 2 * 2 * 4
+
+
+def test_ring_membership_covers_every_channel_once():
+    t = Torus((4, 4))
+    seen = set()
+    for ring in t.rings():
+        for hop in ring.hops:
+            key = (hop.node, hop.out_port)
+            assert key not in seen, "channel in two rings"
+            seen.add(key)
+    # every non-local channel belongs to exactly one ring
+    assert len(seen) == len(t.channels())
+
+
+def test_ring_traversal_consistency():
+    t = Torus((4, 8))
+    for ring in t.rings():
+        for i, hop in enumerate(ring.hops):
+            nxt = ring.hops[(i + 1) % len(ring)]
+            assert t.neighbor(hop.node, hop.out_port) == (nxt.node, nxt.in_port)
+
+
+def test_min_distance_symmetric_and_bounded():
+    t = Torus((4, 4))
+    for a in range(16):
+        for b in range(16):
+            d = t.min_distance(a, b)
+            assert d == t.min_distance(b, a)
+            assert 0 <= d <= 4  # 2 + 2 for a 4x4 torus
+            assert (d == 0) == (a == b)
+
+
+def test_dimension_offset_minimal():
+    t = Torus((4, 4))
+    # from x=0 to x=3: minimal is -1 (wrap backward)
+    assert t.dimension_offset(0, 3, 0) == -1
+    # from x=0 to x=2: tie at 2; deterministic positive
+    assert t.dimension_offset(0, 2, 0) == 2
+    assert t.dimension_offset(0, 0, 1) == 0
+
+
+def test_rejects_degenerate():
+    with pytest.raises(ValueError):
+        Torus(())
+    with pytest.raises(ValueError):
+        Torus((1, 4))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    radices=st.lists(st.integers(min_value=2, max_value=6), min_size=1, max_size=3),
+    data=st.data(),
+)
+def test_offset_reaches_destination(radices, data):
+    """Applying per-dimension offsets from src always lands on dst."""
+    t = Torus(tuple(radices))
+    src = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    coords = list(t.coords(src))
+    for dim, k in enumerate(radices):
+        coords[dim] = (coords[dim] + t.dimension_offset(src, dst, dim)) % k
+    assert t.node_at(tuple(coords)) == dst
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    radices=st.lists(st.integers(min_value=2, max_value=6), min_size=1, max_size=3),
+    data=st.data(),
+)
+def test_min_distance_equals_offset_sum(radices, data):
+    t = Torus(tuple(radices))
+    src = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=t.num_nodes - 1))
+    total = sum(abs(t.dimension_offset(src, dst, d)) for d in range(t.num_dims))
+    assert total == t.min_distance(src, dst)

@@ -1,0 +1,104 @@
+"""The closed-loop PARSEC-substitute workload."""
+
+import pytest
+
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.torus import Torus
+from repro.traffic.parsec import PARSEC_PROFILES, CoherenceWorkload, _mix
+from tests.conftest import make_torus_network
+
+
+def test_profiles_cover_the_papers_benchmarks():
+    expected = {
+        "blackscholes",
+        "bodytrack",
+        "canneal",
+        "dedup",
+        "ferret",
+        "fluidanimate",
+        "raytrace",
+        "swaptions",
+        "vips",
+        "x264",
+    }
+    assert set(PARSEC_PROFILES) == expected
+
+
+def test_mix_is_deterministic_and_uniform():
+    draws = [_mix(c, t, 1) for c in range(16) for t in range(100)]
+    assert all(0 <= d < 1 for d in draws)
+    assert draws == [_mix(c, t, 1) for c in range(16) for t in range(100)]
+    assert 0.4 < sum(1 for d in draws if d < 0.5) / len(draws) < 0.6
+
+
+def test_memory_controllers_at_corners():
+    net = make_torus_network("WBFC-1VC")
+    wl = CoherenceWorkload(net, "dedup", transactions_per_core=10)
+    topo = net.topology
+    assert sorted(wl.memory_controllers) == sorted(
+        topo.node_at(c) for c in [(0, 0), (3, 0), (0, 3), (3, 3)]
+    )
+
+
+def test_runs_to_completion_and_counts_transactions():
+    net = make_torus_network("WBFC-1VC")
+    wl = CoherenceWorkload(net, "swaptions", transactions_per_core=25, seed=11)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=50_000))
+    cycles = wl.run_to_completion(sim, max_cycles=500_000)
+    assert cycles > 0
+    assert all(c == 25 for c in wl.completed)
+    assert all(o == 0 for o in wl.outstanding)
+
+
+def test_execution_time_deterministic_per_design():
+    def run():
+        net = make_torus_network("DL-2VC")
+        wl = CoherenceWorkload(net, "dedup", transactions_per_core=20, seed=11)
+        sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=50_000))
+        return wl.run_to_completion(sim, max_cycles=500_000)
+
+    assert run() == run()
+
+
+def test_transaction_shapes_identical_across_designs():
+    """The protocol DAG must not depend on the network being measured."""
+
+    def homes(design):
+        net = make_torus_network(design)
+        wl = CoherenceWorkload(net, "canneal", transactions_per_core=5, seed=11)
+        return [wl.home_of(core, t) for core in range(16) for t in range(5)]
+
+    assert homes("WBFC-1VC") == homes("DL-3VC")
+
+
+def test_window_limits_outstanding():
+    net = make_torus_network("WBFC-1VC")
+    wl = CoherenceWorkload(net, "dedup", transactions_per_core=50, window=2, seed=3)
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=50_000))
+
+    def check(cycle):
+        assert all(o <= 2 for o in wl.outstanding)
+
+    sim.cycle_listeners.append(check)
+    sim.run(3_000)
+
+
+def test_network_bound_benchmark_sensitive_to_design():
+    """dedup (network-heavy) must run faster on a better network."""
+
+    def time_on(design):
+        net = make_torus_network(design)
+        wl = CoherenceWorkload(net, "dedup", transactions_per_core=60, seed=11)
+        sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=50_000))
+        return wl.run_to_completion(sim, max_cycles=1_000_000)
+
+    slow = time_on("WBFC-1VC")
+    fast = time_on("WBFC-3VC")
+    assert fast < slow
+
+
+def test_unknown_benchmark_rejected():
+    net = make_torus_network("WBFC-1VC")
+    with pytest.raises(KeyError):
+        CoherenceWorkload(net, "quake")

@@ -1,0 +1,68 @@
+"""Coherence-protocol plumbing of the PARSEC substitute."""
+
+from repro.network.network import Network
+from repro.routing.ring_routing import RingRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.ring import UnidirectionalRing
+from repro.core.wbfc import WormBubbleFlowControl
+from repro.traffic.parsec import (
+    FORWARD,
+    MEM_REQUEST,
+    REQUEST,
+    RESPONSE,
+    CoherenceWorkload,
+)
+from tests.conftest import make_torus_network
+
+
+def test_message_class_mix_matches_profile():
+    """canneal: ~30% forwards, ~35% memory trips among requests."""
+    net = make_torus_network("DL-3VC")
+    wl = CoherenceWorkload(net, "canneal", transactions_per_core=40, seed=11)
+    classes = []
+    net.ejection_listeners.append(lambda p, c: classes.append(p.cls))
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=100_000))
+    wl.run_to_completion(sim, max_cycles=400_000)
+    requests = classes.count(REQUEST)
+    forwards = classes.count(FORWARD)
+    mems = classes.count(MEM_REQUEST)
+    responses = classes.count(RESPONSE)
+    assert responses >= requests * 0.5  # every txn ends in a response
+    # protocol mix within generous statistical bounds
+    assert 0.15 < forwards / max(requests, 1) < 0.50
+    assert 0.20 < mems / max(requests, 1) < 0.55
+
+
+def test_responses_are_long_requests_short():
+    net = make_torus_network("DL-3VC")
+    wl = CoherenceWorkload(net, "dedup", transactions_per_core=20, seed=11)
+    lengths = {}
+    net.ejection_listeners.append(lambda p, c: lengths.setdefault(p.cls, set()).add(p.length))
+    sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=100_000))
+    wl.run_to_completion(sim, max_cycles=400_000)
+    assert lengths[REQUEST] == {1}
+    assert lengths[RESPONSE] == {5}
+
+
+def test_memory_latency_delays_responses():
+    """A response behind a memory miss arrives >= memory_latency later."""
+    fast = make_torus_network("DL-3VC")
+    slow = make_torus_network("DL-3VC")
+    t_fast = CoherenceWorkload(fast, "canneal", transactions_per_core=15, seed=11, memory_latency=10)
+    t_slow = CoherenceWorkload(slow, "canneal", transactions_per_core=15, seed=11, memory_latency=300)
+    for net, wl in ((fast, t_fast), (slow, t_slow)):
+        sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=200_000))
+        wl.run_to_completion(sim, max_cycles=600_000)
+    assert t_slow.finished_cycle > t_fast.finished_cycle
+
+
+def test_corner_fallback_on_non_grid_topology():
+    ring = UnidirectionalRing(9)
+    net = Network(
+        ring, RingRouting(ring), WormBubbleFlowControl(), SimulationConfig(num_vcs=1)
+    )
+    wl = CoherenceWorkload(net, "swaptions", transactions_per_core=1)
+    assert len(wl.memory_controllers) == 4
+    assert all(0 <= n < 9 for n in wl.memory_controllers)

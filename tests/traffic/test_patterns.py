@@ -1,0 +1,183 @@
+"""Traffic patterns, length distributions and the open-loop generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.rng import make_rng
+from repro.topology.mesh import Mesh
+from repro.topology.torus import Torus
+from repro.traffic.lengths import BimodalLength, FixedLength
+from repro.traffic.patterns import (
+    PATTERNS,
+    BitComplement,
+    BitReverse,
+    Hotspot,
+    NearestNeighbor,
+    Tornado,
+    Transpose,
+    UniformRandom,
+    make_pattern,
+)
+
+
+@pytest.fixture
+def rng():
+    return make_rng(7)
+
+
+class TestPatterns:
+    def test_uniform_random_never_self(self, torus44, rng):
+        ur = UniformRandom(torus44)
+        for src in range(16):
+            for _ in range(50):
+                assert ur.dest(src, rng) != src
+
+    def test_uniform_random_covers_all_destinations(self, torus44, rng):
+        ur = UniformRandom(torus44)
+        seen = {ur.dest(0, rng) for _ in range(2_000)}
+        assert seen == set(range(1, 16))
+
+    def test_transpose_swaps_coordinates(self, torus44, rng):
+        tp = Transpose(torus44)
+        src = torus44.node_at((1, 3))
+        assert tp.dest(src, rng) == torus44.node_at((3, 1))
+
+    def test_transpose_diagonal_generates_nothing(self, torus44, rng):
+        tp = Transpose(torus44)
+        assert tp.dest(torus44.node_at((2, 2)), rng) is None
+
+    def test_transpose_requires_square(self):
+        with pytest.raises(ValueError):
+            Transpose(Torus((4, 8)))
+
+    def test_bit_complement(self, torus44, rng):
+        bc = BitComplement(torus44)
+        assert bc.dest(0, rng) == 15
+        assert bc.dest(5, rng) == 10
+
+    def test_bit_complement_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            BitComplement(Torus((3, 3)))
+
+    def test_tornado_shift(self, rng):
+        t8 = Torus((8, 8))
+        to = Tornado(t8)
+        src = t8.node_at((0, 0))
+        assert to.dest(src, rng) == t8.node_at((3, 3))  # ceil(8/2)-1 = 3
+
+    def test_tornado_4ary(self, torus44, rng):
+        to = Tornado(torus44)
+        assert to.dest(torus44.node_at((0, 0)), rng) == torus44.node_at((1, 1))
+
+    def test_bit_reverse(self, rng):
+        t = Torus((4, 4))
+        br = BitReverse(t)
+        assert br.dest(1, rng) == 8  # 0001 -> 1000
+
+    def test_hotspot_bias(self, torus44, rng):
+        hs = Hotspot(torus44, hotspots=(5,), fraction=0.5)
+        hits = sum(1 for _ in range(2_000) if hs.dest(0, rng) == 5)
+        assert 700 < hits < 1_400
+
+    def test_nearest_neighbor_distance_one(self, torus44, rng):
+        nn = NearestNeighbor(torus44)
+        for _ in range(200):
+            d = nn.dest(6, rng)
+            assert d is not None and torus44.min_distance(6, d) == 1
+
+    def test_nearest_neighbor_mesh_edges_clamp(self, rng):
+        nn = NearestNeighbor(Mesh((4, 4)))
+        for _ in range(200):
+            d = nn.dest(0, rng)
+            assert d is None or d in (1, 4)
+
+    def test_registry(self, torus44):
+        for name in PATTERNS:
+            make_pattern(name, torus44)
+        with pytest.raises(ValueError):
+            make_pattern("nope", torus44)
+
+
+class TestLengths:
+    def test_fixed(self, rng):
+        d = FixedLength(5)
+        assert d.mean == 5 and d.max_length == 5
+        assert all(d.draw(rng) == 5 for _ in range(10))
+
+    def test_bimodal_mean_and_values(self, rng):
+        d = BimodalLength(short=1, long=5, long_fraction=0.5)
+        assert d.mean == 3.0 and d.max_length == 5
+        draws = [d.draw(rng) for _ in range(4_000)]
+        assert set(draws) == {1, 5}
+        assert 0.45 < draws.count(5) / len(draws) < 0.55
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            BimodalLength(long_fraction=1.5)
+        with pytest.raises(ValueError):
+            BimodalLength(short=3, long=2)
+        with pytest.raises(ValueError):
+            FixedLength(0)
+
+    @given(frac=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_bimodal_mean_formula(self, frac):
+        d = BimodalLength(short=1, long=5, long_fraction=frac)
+        assert d.mean == pytest.approx(1 + 4 * frac)
+
+
+class TestGenerator:
+    def test_rate_realized(self, torus44):
+        from repro.traffic.generator import SyntheticTraffic
+
+        class Sink:
+            def __init__(self):
+                self.flits = 0
+
+            def offer(self, p):
+                self.flits += p.length
+                return True
+
+        class FakeNet:
+            topology = torus44
+            nics = [Sink() for _ in range(16)]
+
+        wl = SyntheticTraffic(UniformRandom(torus44), 0.2, seed=5)
+        net = FakeNet()
+        cycles = 5_000
+        for c in range(cycles):
+            wl.step(c, net)
+        total = sum(n.flits for n in net.nics)
+        realized = total / (16 * cycles)
+        assert 0.18 < realized < 0.22
+
+    def test_deterministic_given_seed(self, torus44):
+        from repro.traffic.generator import SyntheticTraffic
+
+        def trace(seed):
+            wl = SyntheticTraffic(UniformRandom(torus44), 0.3, seed=seed)
+            out = []
+
+            class FakeNet:
+                topology = torus44
+
+                class _N:
+                    def __init__(s):
+                        pass
+
+                nics = None
+
+            class Rec:
+                def offer(self, p):
+                    out.append((p.src, p.dst, p.length))
+                    return True
+
+            FakeNet.nics = [Rec() for _ in range(16)]
+            for c in range(200):
+                wl.step(c, FakeNet())
+            return out
+
+        assert trace(9) == trace(9)
+        assert trace(9) != trace(10)

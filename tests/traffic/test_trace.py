@@ -1,0 +1,66 @@
+"""Trace record/replay."""
+
+import pytest
+
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom
+from repro.traffic.trace import Trace, TraceEntry, TraceRecorder
+from tests.conftest import make_torus_network
+
+
+def test_entries_replay_at_their_cycles():
+    net = make_torus_network("DL-2VC")
+    trace = Trace([TraceEntry(5, 0, 3, 5), TraceEntry(5, 1, 2, 1), TraceEntry(9, 2, 7, 5)])
+    sim = Simulator(net, trace, watchdog=Watchdog(net, deadlock_window=10_000))
+    sim.run(200)
+    assert trace.exhausted
+    assert net.packets_ejected == 3
+
+
+def test_out_of_order_append_rejected():
+    trace = Trace([TraceEntry(5, 0, 1, 1)])
+    with pytest.raises(ValueError):
+        trace.append(TraceEntry(3, 0, 1, 1))
+
+
+def test_save_load_roundtrip(tmp_path):
+    trace = Trace([TraceEntry(1, 0, 3, 5), TraceEntry(4, 2, 1, 1, cls=2)])
+    path = tmp_path / "trace.json"
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.entries == trace.entries
+
+
+def test_recorder_captures_synthetic_traffic():
+    net = make_torus_network("DL-2VC")
+    inner = SyntheticTraffic(UniformRandom(net.topology), 0.1, seed=5)
+    recorder = TraceRecorder(inner)
+    sim = Simulator(net, recorder, watchdog=Watchdog(net, deadlock_window=10_000))
+    sim.run(500)
+    assert len(recorder.trace.entries) == inner.packets_created
+    assert recorder.trace.entries == sorted(recorder.trace.entries, key=lambda e: e.cycle)
+
+
+def test_replay_reproduces_offered_load_exactly():
+    """Record on one design, replay on another: identical offered stream."""
+    net_a = make_torus_network("DL-2VC")
+    inner = SyntheticTraffic(UniformRandom(net_a.topology), 0.1, seed=5)
+    recorder = TraceRecorder(inner)
+    Simulator(net_a, recorder, watchdog=Watchdog(net_a, deadlock_window=10_000)).run(500)
+
+    offered = []
+    net_b = make_torus_network("WBFC-1VC")
+    for nic in net_b.nics:
+        original = nic.offer
+
+        def spy(packet, original=original):
+            offered.append((packet.src, packet.dst, packet.length))
+            return original(packet)
+
+        nic.offer = spy
+    trace = recorder.trace
+    trace.reset()
+    Simulator(net_b, trace, watchdog=Watchdog(net_b, deadlock_window=10_000)).run(500)
+    assert offered == [(e.src, e.dst, e.length) for e in trace.entries]
