@@ -1,0 +1,1 @@
+"""Core-performance benchmark harness (see bench_core.py)."""

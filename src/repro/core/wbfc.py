@@ -87,6 +87,170 @@ from .state import RingContext
 __all__ = ["WormBubbleFlowControl"]
 
 
+class _CounterDict(dict):
+    """Int-valued dict that tracks its number of nonzero entries.
+
+    ``pre_cycle`` gates the CI-reclaim pass on "any banked CI anywhere";
+    keeping the nonzero count on write makes that an O(1) attribute read
+    instead of a per-cycle scan.  Only item assignment and deletion are
+    used on the CI map (by the scheme and by tests poking ``fc.ci[...]``
+    directly), so only those are instrumented.
+    """
+
+    __slots__ = ("nonzero_keys",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.nonzero_keys = {key for key, v in self.items() if v}
+
+    def __setitem__(self, key, value):
+        if value:
+            self.nonzero_keys.add(key)
+        else:
+            self.nonzero_keys.discard(key)
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key):
+        self.nonzero_keys.discard(key)
+        super().__delitem__(key)
+
+
+def _idle_rotation_step(colors: tuple) -> tuple[tuple, int]:
+    """One backward-displacement step of an all-bubble ring's colors.
+
+    Mirrors the backward pass of ``pre_cycle`` for the case where every
+    buffer is a worm-bubble: each black token swaps with the white or gray
+    one position behind it, the shared ``moved`` set preventing chained
+    transfers within one cycle.  Pure function of the color tuple.
+    """
+    k = len(colors)
+    out = list(colors)
+    moved: set[int] = set()
+    moves = 0
+    black = WBColor.BLACK
+    white = WBColor.WHITE
+    gray = WBColor.GRAY
+    for i in range(k):
+        j = i + 1 if i + 1 < k else 0
+        if i in moved or j in moved:
+            continue
+        ci = colors[i]
+        if colors[j] is black and (ci is white or ci is gray):
+            out[j] = ci
+            out[i] = black
+            moved.add(i)
+            moved.add(j)
+            moves += 1
+    return tuple(out), moves
+
+
+class RingTokenLane:
+    """Deferred token rotation for a fully idle ring (all worm-bubbles).
+
+    While a ring is idle its colors evolve as a closed deterministic
+    automaton that nothing can observe except through ``InputVC.color`` —
+    a property that flushes this lane first.  So ``pre_cycle`` merely
+    counts the steps it owes (``pending``); ``materialize`` fast-forwards
+    the colors exactly, using a memoized trajectory with period detection
+    shared across rings, and credits the skipped displacements to the
+    stats dict.  Cost is O(period) once per distinct start state and O(k)
+    per write-back, independent of how long the ring stayed idle.
+    """
+
+    __slots__ = (
+        "buffers",
+        "pending",
+        "occupied",
+        "dirty",
+        "stats",
+        "traj_cache",
+        "traj_entry",
+        "traj_pos",
+    )
+
+    def __init__(self, buffers: list[InputVC], stats: dict, traj_cache: dict):
+        self.buffers = buffers
+        self.pending = 0
+        #: Ring buffers that are NOT worm-bubbles (holding flits or owned);
+        #: maintained by ``on_bubble_change`` so ``pre_cycle`` knows in O(1)
+        #: when the ring is fully idle and this lane may defer.
+        self.occupied = 0
+        #: False when the ring's (colors, bubbles) vector is unchanged
+        #: since an eager pass that moved nothing — the pass is a pure
+        #: function of that vector, so rerunning it would move nothing
+        #: again.  Set by every color write (``InputVC.color`` setter) and
+        #: bubble flip (``on_bubble_change``).
+        self.dirty = True
+        self.stats = stats
+        self.traj_cache = traj_cache
+        #: Position bookmark into a memoized trajectory: while no external
+        #: color write intervenes, ``traj_entry`` is the trajectory whose
+        #: ``states[traj_pos]`` equals the buffers' current colors, letting
+        #: repeated materializations skip the start-tuple rebuild and cache
+        #: lookup entirely.  Invalidated (set to None) by any color write
+        #: that bypasses the lane's own write-back.
+        self.traj_entry = None
+        self.traj_pos = 0
+
+    def materialize(self) -> None:
+        n = self.pending
+        if not n:
+            return
+        self.pending = 0
+        entry = self.traj_entry
+        pos = self.traj_pos
+        if entry is None:
+            start = tuple(b._color for b in self.buffers)
+            # Cache keys are id() tuples: color members are singletons, and
+            # hashing small ints here is markedly cheaper than Enum.__hash__.
+            key = tuple(map(id, start))
+            entry = self.traj_cache.get(key)
+            if entry is None:
+                # Walk the automaton until a state repeats: states[0..last]
+                # with cumulative move counts, plus the closing step's moves.
+                states = [start]
+                cum = [0]
+                index = {key: 0}
+                s = start
+                while True:
+                    nxt, m = _idle_rotation_step(s)
+                    nxt_key = tuple(map(id, nxt))
+                    if nxt_key in index:
+                        entry = (states, cum, index[nxt_key], m)
+                        break
+                    index[nxt_key] = len(states)
+                    states.append(nxt)
+                    cum.append(cum[-1] + m)
+                    s = nxt
+                self.traj_cache[key] = entry
+            self.traj_entry = entry
+            pos = 0
+        states, cum, first, close_moves = entry
+        last = len(states) - 1
+        target = pos + n
+        if target <= last:
+            moves = cum[target] - cum[pos]
+            new_pos = target
+        else:
+            # Walk pos -> last, take the closing step back to `first`, then
+            # wrap the remainder around the cycle.  Algebraically identical
+            # to the pos == 0 formula the cache was built for.
+            period = last - first + 1
+            period_moves = cum[last] - cum[first] + close_moves
+            moves = cum[last] - cum[pos] + close_moves
+            laps, rem = divmod(target - last - 1, period)
+            new_pos = first + rem
+            moves += laps * period_moves + (cum[new_pos] - cum[first])
+        if moves:
+            self.stats["displacements"] += moves
+        self.traj_pos = new_pos
+        if new_pos != pos:
+            self.dirty = True
+            final = states[new_pos]
+            for b, c in zip(self.buffers, final):
+                b._color = c
+
+
 class WormBubbleFlowControl(FlowControl):
     """Worm-bubble flow control over every ring of the attached topology."""
 
@@ -108,7 +272,8 @@ class WormBubbleFlowControl(FlowControl):
         #: Idle cycles before a banked CI is reclaimed.
         self.reclaim_patience = reclaim_patience
         #: Injection counter CI per injection channel: (node, ring_id) -> int.
-        self.ci: dict[tuple[int, str], int] = {}
+        #: (_CounterDict: tracks its nonzero count for the reclaim gate.)
+        self.ci: dict[tuple[int, str], int] = _CounterDict()
         #: Last cycle an injection was attempted per channel (reclaim gate).
         self._last_request: dict[tuple[int, str], int] = {}
         #: Downstream receiving buffer of each injection channel.
@@ -119,8 +284,17 @@ class WormBubbleFlowControl(FlowControl):
         self._owned_keys: dict[int, tuple[int, str]] = {}
         #: ML (Definition 3, for the longest packet) per ring.
         self.ml: dict[str, int] = {}
-        #: Counters for reports/tests.
-        self.stats = {
+        #: Per-ring deferred-rotation lanes (each also carries the ring's
+        #: occupancy count) and the shared trajectory memo.
+        self._lanes: dict[str, RingTokenLane] = {}
+        self._lane_list: list[RingTokenLane] = []
+        self._traj_cache: dict[tuple, tuple] = {}
+        #: Deterministic scan rank of each injection channel (the CI map's
+        #: insertion order); lets ``_reclaim`` visit only nonzero entries
+        #: while preserving the full scan's iteration order exactly.
+        self._ci_order: dict[tuple[int, str], int] = {}
+        #: Counters for reports/tests (read via the ``stats`` property).
+        self._stats_dict = {
             "marks": 0,
             "unmarks": 0,
             "gray_grabs": 0,
@@ -131,6 +305,15 @@ class WormBubbleFlowControl(FlowControl):
             "ci_drifts": 0,
             "transit_gray_grabs": 0,
         }
+
+    @property
+    def stats(self) -> dict:
+        """Counters for reports/tests; flushes deferred ring rotations first
+        so lazily-batched displacements are always included."""
+        for lane in self._lanes.values():
+            if lane.pending:
+                lane.materialize()
+        return self._stats_dict
 
     # -- setup ---------------------------------------------------------------
 
@@ -154,6 +337,12 @@ class WormBubbleFlowControl(FlowControl):
         ml = math.ceil(cfg.max_packet_length / cfg.buffer_depth)
         for ring_id, buffers in self.ring_buffers.items():
             self.ml[ring_id] = ml
+            lane = RingTokenLane(buffers, self._stats_dict, self._traj_cache)
+            lane.occupied = sum(1 for b in buffers if b.flits or b.owner is not None)
+            self._lanes[ring_id] = lane
+            self._lane_list.append(lane)
+            for ivc in buffers:
+                ivc.color_lane = lane
             buffers[0].color = WBColor.GRAY
             for ivc in buffers[1:ml]:
                 ivc.color = WBColor.BLACK
@@ -161,13 +350,16 @@ class WormBubbleFlowControl(FlowControl):
             for pos, hop in enumerate(self.rings[ring_id].hops):
                 self.ci[(hop.node, ring_id)] = 0
                 self._downstream_of[(hop.node, ring_id)] = buffers[(pos + 1) % k]
+        self._ci_order = {key: rank for rank, key in enumerate(self.ci)}
 
     # -- Definition 3 ----------------------------------------------------------
 
     @staticmethod
     def m_value(length: int, wb_capacity: int) -> int:
         """Minimal number of worm-bubbles needed to receive a packet."""
-        return math.ceil(length / wb_capacity)
+        # Integer ceiling division: exact, and cheaper than math.ceil on
+        # the VA retry path where this runs per injection attempt.
+        return -(-length // wb_capacity)
 
     # -- injection rules (Section 3.3) -----------------------------------------
 
@@ -248,7 +440,7 @@ class WormBubbleFlowControl(FlowControl):
             self.ci[key] = ci + 1
             self.marker_owner[key] = packet.pid
             self._owned_keys[packet.pid] = key
-            self.stats["marks"] += 1
+            self._stats_dict["marks"] += 1
             return False
         if color is WBColor.GRAY and ci > 0:
             # Equation (6), gray clause: the starvation token admits a
@@ -282,7 +474,7 @@ class WormBubbleFlowControl(FlowControl):
             if ivc.color is WBColor.BLACK:
                 if ctx.ch > 0:
                     ctx.ch -= 1
-                    self.stats["unmarks"] += 1
+                    self._stats_dict["unmarks"] += 1
                 else:
                     ctx.color_debt.append(WBColor.BLACK)
             elif ivc.color is WBColor.GRAY:
@@ -299,7 +491,7 @@ class WormBubbleFlowControl(FlowControl):
                     if ctx.holds_gray:
                         raise RuntimeError("a ring cannot hold two gray tokens")
                     ctx.holds_gray = True
-                    self.stats["transit_gray_grabs"] += 1
+                    self._stats_dict["transit_gray_grabs"] += 1
         else:
             # Injection (Step 2 completing): open a fresh ring context and
             # move the shared counter into the head flit (CI -> CH).
@@ -312,12 +504,12 @@ class WormBubbleFlowControl(FlowControl):
                     raise RuntimeError("injection granted into a black worm-bubble")
                 # Unmark-and-enter: one reservation pays for the black WB.
                 ctx.ch -= 1
-                self.stats["unmarks"] += 1
-                self.stats["black_reentries"] += 1
+                self._stats_dict["unmarks"] += 1
+                self._stats_dict["black_reentries"] += 1
             if ivc.color is WBColor.GRAY:
                 ctx.holds_gray = True
                 ctx.gray_entitled = True
-                self.stats["gray_grabs"] += 1
+                self._stats_dict["gray_grabs"] += 1
             packet.current_ctx = ctx
         ctx.occupied += 1
         ivc.occupant_ctx = ctx
@@ -349,6 +541,18 @@ class WormBubbleFlowControl(FlowControl):
         if key is not None and self.marker_owner.get(key) == packet.pid:
             del self.marker_owner[key]
 
+    def on_bubble_change(self, ivc: InputVC, occupied_delta: int) -> None:
+        # Only VC-0 escape buffers carry tokens (= the ring_buffers lists).
+        if ivc.vc == 0:
+            lane = self._lanes.get(ivc.ring_id)
+            if lane is not None:
+                lane.occupied += occupied_delta
+                lane.dirty = True
+                if occupied_delta > 0 and lane.pending:
+                    # Ring leaves the fully-idle regime: settle any batched
+                    # rotation before live traffic observes the tokens.
+                    lane.materialize()
+
     def on_slot_filled(self, ivc: InputVC, flit) -> None:
         """Track how much of the worm has entered the ring.
 
@@ -362,48 +566,97 @@ class WormBubbleFlowControl(FlowControl):
     # -- proactive displacement (Section 3.6 wbt handshake) ------------------------
 
     def pre_cycle(self, cycle: int) -> None:
-        if self.reclaim_banked_ci:
+        # Hot path: this runs every cycle for every ring, so the work is
+        # made proportional to live traffic.  Each lane's ``occupied``
+        # count (maintained by ``on_bubble_change``) tells us in O(1) when
+        # its ring is fully idle: every buffer is a worm-bubble, so the
+        # forward (demand-driven) pass has no blocked worm to serve and
+        # the backward pass is a closed color automaton — its steps are
+        # *deferred* onto the ring's :class:`RingTokenLane` and replayed
+        # exactly by any observer (the ``InputVC.color`` property flushes
+        # the lane), so skipping here is bit-invisible.  For occupied
+        # rings, occupancy cannot change inside pre_cycle and color swaps
+        # are mirrored into the local array as they happen, so decisions
+        # are bit-identical to checking the buffers live.
+        if self.reclaim_banked_ci and self.ci.nonzero_keys:  # type: ignore[attr-defined]
             self._reclaim(cycle)
-        for buffers in self.ring_buffers.values():
+        black = WBColor.BLACK
+        white = WBColor.WHITE
+        gray = WBColor.GRAY
+        stats = self._stats_dict
+        for lane in self._lane_list:
+            if not lane.occupied:
+                lane.pending += 1
+                continue
+            if lane.pending:
+                # Settled on any occupancy/color touch; only reachable if
+                # the ring became occupied without notification.
+                lane.materialize()
+            if not lane.dirty:
+                # (colors, bubbles) unchanged since a pass that moved
+                # nothing; both passes are pure in that vector, so this
+                # one would move nothing too.
+                continue
+            buffers = lane.buffers
             k = len(buffers)
+            if lane.occupied > k - 2:
+                # At most one bubble left: both passes need an adjacent
+                # bubble pair, so neither can move anything.  (dirty is
+                # left set; occupancy changes re-trigger it anyway.)
+                continue
+            # Direct slot access: the lane was just settled (pending == 0),
+            # so the property wrappers would be pass-throughs anyway.
+            colors = [b._color for b in buffers]
+            bubble = [not b.flits and b._owner is None for b in buffers]
             moved: set[int] = set()
+            if black in colors:
+                for i in range(k):
+                    j = i + 1 if i + 1 < k else 0
+                    if i in moved or j in moved:
+                        continue
+                    if (
+                        colors[j] is black
+                        and bubble[j]
+                        and bubble[i]
+                        and (colors[i] is white or colors[i] is gray)
+                    ):
+                        # Backward transfer: black drifts toward the injector
+                        # that marked it, releasing its watch position.
+                        c = colors[i]
+                        buffers[j]._color = colors[j] = c
+                        buffers[i]._color = colors[i] = black
+                        moved.add(i)
+                        moved.add(j)
+                        stats["displacements"] += 1
             for i in range(k):
-                j = (i + 1) % k
+                j = i + 1 if i + 1 < k else 0
                 if i in moved or j in moved:
                     continue
-                down, up = buffers[j], buffers[i]
+                c = colors[i]
                 if (
-                    down.is_worm_bubble
-                    and down.color is WBColor.BLACK
-                    and up.is_worm_bubble
-                    and up.color in (WBColor.WHITE, WBColor.GRAY)
-                ):
-                    # Backward transfer: black drifts toward the injector
-                    # that marked it, releasing its watch position.
-                    down.color, up.color = up.color, WBColor.BLACK
-                    moved.add(i)
-                    moved.add(j)
-                    self.stats["displacements"] += 1
-            for i in range(k):
-                j = (i + 1) % k
-                if i in moved or j in moved:
-                    continue
-                here, ahead = buffers[i], buffers[j]
-                if (
-                    here.is_worm_bubble
-                    and here.color in (WBColor.BLACK, WBColor.GRAY)
-                    and ahead.is_worm_bubble
-                    and ahead.color is WBColor.WHITE
-                    and not buffers[(i - 1) % k].is_worm_bubble
+                    (c is black or c is gray)
+                    and bubble[i]
+                    and bubble[j]
+                    and colors[j] is white
+                    and not bubble[i - 1 if i > 0 else k - 1]
                 ):
                     # Forward transfer (demand-driven): a worm too long to
                     # consume the marked bubble is blocked right behind it;
                     # swap the mark with the white ahead so the worm can
                     # advance into a plain bubble.
-                    here.color, ahead.color = WBColor.WHITE, here.color
+                    buffers[i]._color = colors[i] = white
+                    buffers[j]._color = colors[j] = c
                     moved.add(i)
                     moved.add(j)
-                    self.stats["forward_displacements"] += 1
+                    stats["forward_displacements"] += 1
+            # A pass that moved tokens changed the vector (rerun next
+            # cycle); a no-move pass settles the ring until a color write
+            # or bubble flip dirties it again.
+            if moved:
+                lane.dirty = True
+                lane.traj_entry = None
+            else:
+                lane.dirty = False
 
     def _reclaim(self, cycle: int) -> None:
         """Recycle banked CI at idle injection channels (see module notes).
@@ -415,8 +668,20 @@ class WormBubbleFlowControl(FlowControl):
         somewhere; rights are fungible, the per-ring sum is unchanged, and
         only neighbouring-router wiring (as for wbt) is needed.
         """
+        ci_map = self.ci
+        order = self._ci_order
+        keys = ci_map.nonzero_keys  # type: ignore[attr-defined]
+        if keys <= order.keys():
+            # Visit only nonzero entries, in the exact rank order a full
+            # insertion-order scan would have reached them.
+            scan = sorted(keys, key=order.__getitem__)
+        else:
+            # Unranked key present (e.g. tests poking ``fc.ci`` directly
+            # without ``attach``): fall back to the full ordered scan.
+            scan = [key for key, value in ci_map.items() if value]
         drifts: list[tuple[tuple[int, str], tuple[int, str]]] = []
-        for key, ci in self.ci.items():
+        for key in scan:
+            ci = ci_map[key]
             if ci <= 0 or key in self.marker_owner:
                 continue
             if cycle - self._last_request.get(key, -(10**9)) <= self.reclaim_patience:
@@ -425,7 +690,7 @@ class WormBubbleFlowControl(FlowControl):
             if ivc.is_worm_bubble and ivc.color is WBColor.BLACK:  # type: ignore[attr-defined]
                 ivc.color = WBColor.WHITE  # type: ignore[attr-defined]
                 self.ci[key] = ci - 1
-                self.stats["reclaims"] += 1
+                self._stats_dict["reclaims"] += 1
             elif cycle - self._last_request.get(key, -(10**9)) > 4 * self.reclaim_patience + 2:
                 node, ring_id = key
                 ring = self.rings[ring_id]
@@ -436,4 +701,4 @@ class WormBubbleFlowControl(FlowControl):
             if self.ci[src_key] > 0:
                 self.ci[src_key] -= 1
                 self.ci[dst_key] = self.ci.get(dst_key, 0) + 1
-                self.stats["ci_drifts"] += 1
+                self._stats_dict["ci_drifts"] += 1

@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments --only fig10 fig14   # a subset
     python -m repro.experiments --out results/       # also write report.md + CSVs
     REPRO_FULL=1 python -m repro.experiments         # paper-scale windows
+    REPRO_WORKERS=8 python -m repro.experiments      # sweep-point process fan-out
 
 Each figure's harness lives in ``repro.experiments.figNN``; this driver
 just sequences them and collects their text renderings into one report.

@@ -9,6 +9,7 @@ zero-load), which is where the paper's headline percentages come from.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from ..metrics.sweep import SweepResult, sweep
 from ..sim.config import SimulationConfig
@@ -50,10 +51,17 @@ def latency_load_study(
     scale: Scale | None = None,
     config: SimulationConfig | None = None,
     seed: int = 1,
+    workers: int | None = None,
 ) -> LatencyLoadStudy:
-    """Run the sweeps behind Figure 10 (radix=4) or Figure 11 (radix=8)."""
+    """Run the sweeps behind Figure 10 (radix=4) or Figure 11 (radix=8).
+
+    Each sweep's load points fan out across processes (``workers``, or
+    ``REPRO_WORKERS``, or the CPU count); the topology factory is a
+    picklable ``partial`` so the points can cross process boundaries.
+    """
     scale = scale or current_scale()
     max_rates = MAX_RATE_4X4 if radix <= 4 else MAX_RATE_8X8
+    topology_factory = partial(Torus, (radix, radix))
     curves: dict[tuple[str, str], SweepResult] = {}
     for pattern in patterns:
         top = max_rates.get(pattern, 0.5)
@@ -63,13 +71,14 @@ def latency_load_study(
         for design in designs:
             curves[(pattern, design)] = sweep(
                 design,
-                lambda: Torus((radix, radix)),
+                topology_factory,
                 pattern,
                 rates,
                 config=config,
                 warmup=scale.warmup,
                 measure=scale.measure,
                 seed=seed,
+                workers=workers,
             )
     return LatencyLoadStudy(radix=radix, curves=curves)
 

@@ -1,9 +1,14 @@
-"""Shared experiment plumbing: scaling knobs and table rendering.
+"""Shared experiment plumbing: scaling knobs, parallelism, table rendering.
 
-All figure harnesses honour the ``REPRO_FULL`` environment variable: unset
-(default) runs CI-scale simulations (short windows, fewer load points);
-``REPRO_FULL=1`` switches to paper-scale windows (10k warmup + 100k
-measured cycles, Section 4).
+All figure harnesses honour two environment variables:
+
+- ``REPRO_FULL``: unset (default) runs CI-scale simulations (short
+  windows, fewer load points); ``REPRO_FULL=1`` switches to paper-scale
+  windows (10k warmup + 100k measured cycles, Section 4).
+- ``REPRO_WORKERS``: process count for the parallel sweep runner
+  (default: CPU count).  Load points are independent simulations, so the
+  fan-out is bit-identical to a serial run — see
+  :mod:`repro.metrics.parallel`.
 """
 
 from __future__ import annotations
@@ -11,7 +16,9 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-__all__ = ["Scale", "current_scale", "format_table"]
+from ..metrics.parallel import default_workers
+
+__all__ = ["Scale", "current_scale", "default_workers", "format_table"]
 
 
 @dataclass(frozen=True)

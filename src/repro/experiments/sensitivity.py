@@ -13,6 +13,7 @@ Two sweeps that quantify claims the paper makes in prose:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 from ..core.wbfc import WormBubbleFlowControl
 from ..metrics.stats import MetricsCollector
@@ -52,24 +53,28 @@ def scalability_study(
     *,
     scale: Scale | None = None,
     seed: int = 1,
+    workers: int | None = None,
 ) -> list[ScalabilityPoint]:
-    """WBFC-2VC vs DL-2VC saturation across torus sizes (UR traffic)."""
+    """WBFC-2VC vs DL-2VC saturation across torus sizes (UR traffic).
+
+    The saturation search's load points run in parallel (``workers``,
+    ``REPRO_WORKERS``, or CPU count); the ``partial`` topology factory
+    keeps the fan-out picklable.
+    """
     scale = scale or current_scale()
     points = []
     for radix in radices:
+        topology_factory = partial(Torus, (radix, radix))
         kwargs = dict(
             warmup=scale.warmup,
             measure=scale.measure,
             steps=max(5, scale.sweep_points),
             max_rate=0.6,
             seed=seed,
+            workers=workers,
         )
-        wbfc2 = saturation_throughput(
-            "WBFC-2VC", lambda: Torus((radix, radix)), "UR", **kwargs
-        )
-        dl2 = saturation_throughput(
-            "DL-2VC", lambda: Torus((radix, radix)), "UR", **kwargs
-        )
+        wbfc2 = saturation_throughput("WBFC-2VC", topology_factory, "UR", **kwargs)
+        dl2 = saturation_throughput("DL-2VC", topology_factory, "UR", **kwargs)
         points.append(
             ScalabilityPoint(radix=radix, wbfc2_saturation=wbfc2, dl2_saturation=dl2)
         )

@@ -47,6 +47,9 @@ class FlowControl(ABC):
         self.ring_out_port: dict[tuple[str, int], int] = {}
         #: ring_id -> escape buffers (VC 0) in traversal order
         self.ring_buffers: dict[str, list[InputVC]] = {}
+        #: ``[node][port] -> ring_id | None``; flat-list mirror of
+        #: ``ring_of_output`` for the per-VA-request in-ring test.
+        self._ring_out_table: list[list[str | None]] = []
 
     # -- wiring ---------------------------------------------------------
 
@@ -66,6 +69,12 @@ class FlowControl(ABC):
                 # Token bookkeeping (WBFC colors) lives on escape VC 0.
                 buffers.append(network.input_vc(hop.node, hop.in_port, 0))
             self.ring_buffers[ring.ring_id] = buffers
+        num_ports = network.topology.num_ports
+        self._ring_out_table = [
+            [None] * num_ports for _ in range(network.topology.num_nodes)
+        ]
+        for (node, out_port), ring_id in self.ring_of_output.items():
+            self._ring_out_table[node][out_port] = ring_id
         self.validate()
         self.initialize_state()
 
@@ -136,6 +145,15 @@ class FlowControl(ABC):
     def on_slot_freed(self, ivc: InputVC, flit) -> None:
         """Non-atomic modes: a flit left ``ivc``, freeing one slot."""
 
+    def on_bubble_change(self, ivc: InputVC, occupied_delta: int) -> None:
+        """Ring escape buffer ``ivc`` became a worm-bubble or stopped being one.
+
+        ``occupied_delta`` is +1 when the buffer gained its first flit or an
+        owner (no longer a bubble), -1 when it returned to empty-and-unowned.
+        Fired for any buffer with a ``ring_id``; schemes that keep per-ring
+        occupancy counts (WBFC's work-proportional displacement) override it.
+        """
+
     # -- helpers ------------------------------------------------------------
 
     def is_in_ring_move(self, src_ivc: InputVC | None, node: int, out_port: int) -> bool:
@@ -146,4 +164,8 @@ class FlowControl(ABC):
         """
         if src_ivc is None or not src_ivc.is_escape or src_ivc.ring_id is None:
             return False
+        if self._ring_out_table:
+            # Attached: list indexing beats a tuple-keyed dict lookup on
+            # this per-VA-request path.
+            return src_ivc.ring_id == self._ring_out_table[node][out_port]
         return src_ivc.ring_id == self.ring_of_output.get((node, out_port))

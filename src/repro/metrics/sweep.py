@@ -19,6 +19,7 @@ from ..topology.base import Topology
 from ..traffic.generator import SyntheticTraffic
 from ..traffic.lengths import LengthDistribution
 from ..traffic.patterns import make_pattern
+from .parallel import run_points
 from .stats import MeasurementSummary, MetricsCollector
 
 __all__ = ["SweepPoint", "SweepResult", "run_point", "sweep", "saturation_throughput"]
@@ -64,7 +65,7 @@ class SweepResult:
                     point.injection_rate - prev.injection_rate
                 )
             prev = point
-        return self.points[-1].injection_rate if self.points else 0.0
+        return self.points[-1].injection_rate
 
 
 def run_point(
@@ -104,13 +105,26 @@ def sweep(
     topology_factory: Callable[[], Topology],
     pattern_name: str,
     rates: list[float] | tuple[float, ...],
+    *,
+    workers: int | None = None,
     **kwargs,
 ) -> SweepResult:
-    """Measure a latency-load curve across ``rates``."""
+    """Measure a latency-load curve across ``rates``.
+
+    Points are independent simulations, so they are fanned across
+    processes (``workers``: explicit count, else ``REPRO_WORKERS``, else
+    the CPU count) and collected in rate order — bit-identical to the
+    serial loop.  Parallel runs need picklable arguments: pass
+    ``functools.partial`` topology factories, not lambdas.
+    """
     name = design if isinstance(design, str) else design.name
+    tasks = [
+        ((design, topology_factory, pattern_name, rate), dict(kwargs))
+        for rate in rates
+    ]
+    summaries = run_points(tasks, workers=workers)
     result = SweepResult(design=name, pattern=pattern_name)
-    for rate in rates:
-        summary = run_point(design, topology_factory, pattern_name, rate, **kwargs)
+    for rate, summary in zip(rates, summaries):
         result.points.append(SweepPoint(rate, summary))
     return result
 

@@ -40,9 +40,12 @@ class InputVC:
         "vc",
         "capacity",
         "flits",
-        "owner",
-        "state",
-        "color",
+        "_owner",
+        "_state",
+        "scheduler",
+        "order",
+        "_color",
+        "color_lane",
         "ring_id",
         "is_escape",
         "route_candidates",
@@ -71,10 +74,23 @@ class InputVC:
         self.capacity = capacity
         self.flits: deque[Flit] = deque()
         #: Packet currently allocated this buffer (atomic allocation owner).
-        self.owner: Packet | None = None
-        self.state = VCState.IDLE
+        self._owner: Packet | None = None
+        #: Active-set scheduler (the owning Router) notified of every state
+        #: transition; None for standalone buffers built outside a Network.
+        self.scheduler = None
+        #: Deterministic scan position (port-major, then VC) within the
+        #: owning router; active sets are iterated in this order so the
+        #: work-proportional kernel matches the full scan bit-for-bit.
+        self.order = 0
+        self._state = VCState.IDLE
         #: Worm-bubble color; meaningful while the buffer is empty.
-        self.color = WBColor.WHITE
+        self._color = WBColor.WHITE
+        #: Deferred-rotation lane this buffer's ring belongs to (WBFC);
+        #: any object with ``pending`` and ``materialize()``.  The color
+        #: property flushes it before every access, so readers always see
+        #: exact token positions even when idle-ring displacement was
+        #: batched.
+        self.color_lane = None
         #: Unidirectional ring this buffer belongs to (escape VCs on rings).
         self.ring_id = ring_id
         self.is_escape = is_escape
@@ -92,6 +108,59 @@ class InputVC:
         self.critical = False
         #: The upstream OutputVC mirroring this buffer (None for NIC queues).
         self.feeder = None
+
+    # -- pipeline state -----------------------------------------------------
+
+    @property
+    def state(self) -> VCState:
+        return self._state
+
+    @state.setter
+    def state(self, new: VCState) -> None:
+        old = self._state
+        self._state = new
+        if new is not old and self.scheduler is not None:
+            self.scheduler.on_vc_state_change(self, old, new)
+
+    @property
+    def color(self) -> WBColor:
+        lane = self.color_lane
+        if lane is not None and lane.pending:
+            lane.materialize()
+        return self._color
+
+    @color.setter
+    def color(self, value: WBColor) -> None:
+        lane = self.color_lane
+        if lane is not None:
+            if lane.pending:
+                lane.materialize()
+            # A color write may enable a displacement the lane's no-move
+            # memo ruled out; tell the eager pass to re-examine the ring,
+            # and drop the lane's trajectory bookmark — the ring's color
+            # vector no longer matches the memoized position.
+            lane.dirty = True
+            lane.traj_entry = None
+        self._color = value
+
+    @property
+    def owner(self) -> Packet | None:
+        return self._owner
+
+    @owner.setter
+    def owner(self, packet: Packet | None) -> None:
+        old = self._owner
+        self._owner = packet
+        # A ring escape buffer is a worm-bubble iff it is empty AND unowned;
+        # owning flow control keeps a per-ring occupancy count, so tell the
+        # scheduler when an owner change flips the bubble status.
+        if (
+            (packet is None) is not (old is None)
+            and not self.flits
+            and self.ring_id is not None
+            and self.scheduler is not None
+        ):
+            self.scheduler.on_vc_bubble_change(self, -1 if packet is None else 1)
 
     # -- occupancy ----------------------------------------------------------
 
@@ -122,11 +191,16 @@ class InputVC:
                 f"buffer overflow at node {self.node} port {self.port} vc {self.vc}"
             )
         self.flits.append(flit)
+        if self.scheduler is not None:
+            self.scheduler.on_vc_occupancy_change(self, +1)
 
     def pop(self) -> Flit:
         if not self.flits:
             raise IndexError("pop from empty VC buffer")
-        return self.flits.popleft()
+        flit = self.flits.popleft()
+        if self.scheduler is not None:
+            self.scheduler.on_vc_occupancy_change(self, -1)
+        return flit
 
     def release(self) -> None:
         """Return to IDLE after the owning packet's tail has departed."""

@@ -9,7 +9,7 @@ channel dependences WBFC must tame.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["FlitType", "Flit", "Packet"]
@@ -79,14 +79,14 @@ class Flit:
     packet: Packet
     ftype: FlitType
     index: int
+    #: Role flags, precomputed — these are read on every hop of every flit.
+    is_head: bool = field(init=False)
+    is_tail: bool = field(init=False)
 
-    @property
-    def is_head(self) -> bool:
-        return self.ftype.is_head
-
-    @property
-    def is_tail(self) -> bool:
-        return self.ftype.is_tail
+    def __post_init__(self) -> None:
+        ftype = self.ftype
+        self.is_head = ftype is FlitType.HEAD or ftype is FlitType.HEAD_TAIL
+        self.is_tail = ftype is FlitType.TAIL or ftype is FlitType.HEAD_TAIL
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Flit(p{self.packet.pid},{self.ftype.value},{self.index})"

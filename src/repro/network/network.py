@@ -17,10 +17,11 @@ from ..topology.base import LOCAL_PORT, Topology
 if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids import cycle
     from ..flowcontrol.base import FlowControl
     from ..routing.base import RoutingFunction
-from .buffers import InputVC, OutputVC
+from .buffers import InputVC, OutputVC, VCState
 from .flit import Flit, Packet
 from .nic import NIC
 from .router import Router
+from .switching import Switching
 
 __all__ = ["Network"]
 
@@ -40,13 +41,35 @@ class Network:
         self.routing = routing
         self.flow_control = flow_control
         self.config = config
-        #: Activity counters feeding the dynamic-energy model.
-        self.activity: dict[str, int] = defaultdict(int)
+        #: Activity counters feeding the dynamic-energy model.  The five
+        #: hot ones are plain attributes (bumping a slot is much cheaper
+        #: than a dict update per flit event); the ``activity`` property
+        #: folds them into the dict view readers expect.
+        self._activity: dict[str, int] = defaultdict(int)
+        self.act_buffer_reads = 0
+        self.act_buffer_writes = 0
+        self.act_xbar_traversals = 0
+        self.act_link_traversals = 0
+        self.act_va_grants = 0
+        #: Hot-path config values, cached (config is fixed at construction).
+        self._atomic = config.switching is Switching.WORMHOLE_ATOMIC
+        self._routing_delay = config.routing_delay
         self.flits_in_network = 0
         self.flits_moved_this_cycle = 0
         self.packets_ejected = 0
+        #: O(1) occupancy counters, kept in lock-step with the buffers so
+        #: the watchdog and ``drain`` never re-sum every VC: flits held in
+        #: non-LOCAL input buffers, and packets waiting at NICs (queued or
+        #: staged, matching ``NIC.backlog``).
+        self.buffered_flits = 0
+        self.backlog_packets = 0
         #: Callbacks invoked as ``fn(packet, cycle)`` on every ejection.
         self.ejection_listeners: list[Callable[[Packet, int], None]] = []
+        #: Active sets: per-phase router sets (RC, VA, SA — routers with at
+        #: least one VC in that pipeline stage, maintained by the routers'
+        #: ``on_vc_state_change``), and NICs with queued packets to stage.
+        self.phase_routers: tuple[set[int], set[int], set[int]] = (set(), set(), set())
+        self._pending_nic_nodes: set[int] = set()
 
         self.routers = [Router(node, self) for node in range(topology.num_nodes)]
         self._wire_links()
@@ -58,6 +81,17 @@ class Network:
         self._credits: dict[int, list[tuple[OutputVC, bool]]] = defaultdict(list)
         self._ejections: dict[int, list[tuple[int, Flit]]] = defaultdict(list)
         flow_control.attach(self)
+
+    @property
+    def activity(self) -> dict[str, int]:
+        """Activity counters as a dict (hot counters folded in on read)."""
+        d = self._activity
+        d["buffer_reads"] = self.act_buffer_reads
+        d["buffer_writes"] = self.act_buffer_writes
+        d["xbar_traversals"] = self.act_xbar_traversals
+        d["link_traversals"] = self.act_link_traversals
+        d["va_grants"] = self.act_va_grants
+        return d
 
     # -- construction ---------------------------------------------------------
 
@@ -82,6 +116,15 @@ class Network:
             for ivc in port_list
         ]
 
+    # -- active-set registry -------------------------------------------------------
+
+    def note_nic_pending(self, node: int, pending: bool) -> None:
+        """NIC ``node`` has packets queued for staging (or just ran dry)."""
+        if pending:
+            self._pending_nic_nodes.add(node)
+        else:
+            self._pending_nic_nodes.discard(node)
+
     # -- event scheduling ---------------------------------------------------------
 
     def schedule_arrival(self, ivc: InputVC, flit: Flit, when: int) -> None:
@@ -104,50 +147,72 @@ class Network:
             self._deliver(ivc, flit, cycle)
         for node, flit in self._ejections.pop(cycle, ()):
             self._eject(node, flit, cycle)
-        for nic in self.nics:
-            nic.load(cycle)
+
+    def load_nics(self, cycle: int) -> None:
+        """Stage queued NIC packets (one per NIC per cycle, NI serialization).
+
+        Runs after the workload's offers so packets offered this cycle are
+        injection-eligible the same cycle.  Only NICs with a non-empty
+        source queue are visited; loading order across NICs is immaterial
+        (each touches only its own staging slots) but kept in node order.
+        """
+        pending = self._pending_nic_nodes
+        if not pending:
+            return
+        nics = self.nics
+        for node in sorted(pending) if len(pending) > 1 else list(pending):
+            nics[node].load(cycle)
 
     def run_router_phases(self, cycle: int) -> None:
-        for router in self.routers:
-            router.route_compute(cycle)
+        # Each phase visits only routers with work in that stage, snapshot
+        # in node order at phase start (``sorted`` materializes the set).
+        # Earlier phases may ADD routers to later phases' sets (RC completes
+        # -> a VC now waits for VA) — those are picked up because the later
+        # snapshot is taken after the earlier phase ran, exactly as the
+        # exhaustive scan visited every router each phase.  Cross-router
+        # effects (arrivals, credits, ejections) are scheduled into future
+        # cycles, and phase calls on routers that drained mid-cycle were
+        # no-ops, so the visit set matches the full scan bit-for-bit.
+        routers = self.routers
+        rc, va, sa = self.phase_routers
+        # len <= 1 needs no ordering; list() still snapshots the set.
+        for node in sorted(rc) if len(rc) > 1 else list(rc):
+            routers[node].route_compute(cycle)
         self.flow_control.pre_cycle(cycle)
-        for router in self.routers:
-            router.vc_allocate(cycle)
-        for router in self.routers:
-            router.switch_allocate(cycle)
+        for node in sorted(va) if len(va) > 1 else list(va):
+            routers[node].vc_allocate(cycle)
+        for node in sorted(sa) if len(sa) > 1 else list(sa):
+            routers[node].switch_allocate(cycle)
 
     def step(self, cycle: int) -> None:
         """One full cycle without a workload (tests drive this directly)."""
         self.begin_cycle(cycle)
+        self.load_nics(cycle)
         self.run_router_phases(cycle)
 
     # -- delivery -------------------------------------------------------------------
 
     def _deliver(self, ivc: InputVC, flit: Flit, cycle: int) -> None:
-        from .buffers import VCState
-        from .switching import Switching
-
         was_front = not ivc.flits
         ivc.push(flit)
-        self.activity["buffer_writes"] += 1
-        atomic = self.config.switching is Switching.WORMHOLE_ATOMIC
+        self.act_buffer_writes += 1
         self.flow_control.on_slot_filled(ivc, flit)
         if flit.is_head:
             flit.packet.hops += 1
-            if atomic:
-                if ivc.owner is not flit.packet:
+            if self._atomic:
+                if ivc._owner is not flit.packet:
                     raise RuntimeError(
                         f"head of packet {flit.packet.pid} arrived at "
                         f"{ivc.label()} owned by "
                         f"{ivc.owner.pid if ivc.owner else None}"
                     )
                 ivc.state = VCState.ROUTING
-                ivc.stage_ready = cycle + self.config.routing_delay
+                ivc.stage_ready = cycle + self._routing_delay
             elif was_front:
                 # Non-atomic: this head is at the buffer front; start RC.
                 ivc.owner = flit.packet
                 ivc.state = VCState.ROUTING
-                ivc.stage_ready = cycle + self.config.routing_delay
+                ivc.stage_ready = cycle + self._routing_delay
 
     def _eject(self, node: int, flit: Flit, cycle: int) -> None:
         packet = flit.packet
@@ -166,11 +231,24 @@ class Network:
     # -- diagnostics -------------------------------------------------------------------
 
     def total_backlog(self) -> int:
-        """Packets waiting in all NIC source queues."""
-        return sum(nic.backlog for nic in self.nics)
+        """Packets waiting in all NIC source queues (O(1) counter)."""
+        return self.backlog_packets
 
     def occupancy_snapshot(self) -> dict[str, int]:
-        """Flit counts by location, for the deadlock watchdog and tests."""
+        """Flit counts by location, for the deadlock watchdog and tests.
+
+        O(1): reads the counters maintained at delivery, send, offer and
+        release time.  ``recount_occupancy`` recomputes the same numbers
+        from the buffers themselves; an invariant test keeps them honest.
+        """
+        return {
+            "buffered": self.buffered_flits,
+            "in_network": self.flits_in_network,
+            "backlog": self.backlog_packets,
+        }
+
+    def recount_occupancy(self) -> dict[str, int]:
+        """Recompute ``occupancy_snapshot`` exhaustively from the buffers."""
         buffered = sum(
             len(ivc)
             for router in self.routers
@@ -180,5 +258,5 @@ class Network:
         return {
             "buffered": buffered,
             "in_network": self.flits_in_network,
-            "backlog": self.total_backlog(),
+            "backlog": sum(nic.backlog for nic in self.nics),
         }

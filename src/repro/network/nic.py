@@ -46,6 +46,8 @@ class NIC:
             return False
         self.queue.append(packet)
         self.packets_offered += 1
+        self.network.backlog_packets += 1
+        self.network.note_nic_pending(self.node, True)
         return True
 
     def load(self, cycle: int) -> None:
@@ -55,6 +57,7 @@ class NIC:
         V packets can sit staged, arbitrating for injection concurrently.
         """
         if not self.queue:
+            self.network.note_nic_pending(self.node, False)
             return
         for slot in self.source_vcs:
             if slot.state is VCState.IDLE:
@@ -64,6 +67,8 @@ class NIC:
                 slot.owner = packet
                 slot.state = VCState.ROUTING
                 slot.stage_ready = cycle + self.network.config.routing_delay
+                if not self.queue:
+                    self.network.note_nic_pending(self.node, False)
                 return
 
     @property

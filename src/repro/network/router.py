@@ -10,6 +10,15 @@ The router consults the attached flow-control scheme at two points:
 *which* escape VC class a head may request (``escape_vc_choices``) and
 *whether* an injection into a ring may proceed (``allow_escape``, where
 WBFC also performs its black-marking side effect).
+
+Active-set scheduling: instead of scanning every input VC each cycle, the
+router keeps one set per pipeline stage (ROUTING / WAITING_VA / ACTIVE),
+maintained by :class:`~repro.network.buffers.InputVC`'s state setter at
+every transition point (delivery, NIC staging, RC/VA completion, tail
+departure).  Each phase visits only its stage's set, iterated in the same
+(port, vc) order as the old full scan, so allocation and arbitration are
+bit-identical to the scan-based kernel — only the work is proportional to
+live VCs rather than ``num_ports x num_vcs``.
 """
 
 from __future__ import annotations
@@ -26,6 +35,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from .network import Network
 
 __all__ = ["Router"]
+
+
+def _scan_order(ivc: InputVC) -> int:
+    """Sort key reproducing the old full scan's (port, vc) visit order."""
+    return ivc.order
 
 
 class Router:
@@ -65,38 +79,139 @@ class Router:
                 )
         #: outputs[port][vc] -> OutputVC mirror; None where unconnected.
         self.outputs: list[list[OutputVC] | None] = [None] * num_ports
+        #: Hot-path config values, cached (config is fixed at construction).
+        self._switching = cfg.switching
+        self._atomic = cfg.switching is Switching.WORMHOLE_ATOMIC
+        self._vc_alloc_delay = cfg.vc_alloc_delay
+        self._st_link_delay = cfg.st_link_delay
+        self._credit_delay = cfg.credit_delay
+        self._has_adaptive = cfg.num_adaptive_vcs > 0
         self._va_arbiter = RoundRobinArbiter()
         self._sa_input_arbiters = [RoundRobinArbiter() for _ in range(num_ports)]
         self._sa_output_arbiters = [RoundRobinArbiter() for _ in range(num_ports)]
+        #: Active sets: the VCs currently in each non-idle pipeline stage,
+        #: mapped to the index of the network-level phase set mirroring
+        #: which routers have work in that stage.
+        self._routing_vcs: set[InputVC] = set()
+        self._waiting_va_vcs: set[InputVC] = set()
+        self._active_vcs: set[InputVC] = set()
+        #: Scan-order snapshots of the stage sets, rebuilt lazily after any
+        #: membership change.  A VC stays in one stage for several cycles
+        #: (e.g. ACTIVE for a whole packet), so the sort is reused often.
+        self._sorted_routing: list[InputVC] | None = None
+        self._sorted_waiting: list[InputVC] | None = None
+        self._sorted_active: list[InputVC] | None = None
+        for port_list in self.inputs:
+            for ivc in port_list:
+                ivc.scheduler = self
+                ivc.order = ivc.port * cfg.num_vcs + ivc.vc
+
+    # -- active-set maintenance ------------------------------------------------
+
+    def on_vc_state_change(self, ivc: InputVC, old: VCState, new: VCState) -> None:
+        """Keep stage sets (and the network's per-phase router sets) in sync.
+
+        Identity chains instead of an enum-keyed dict: this fires on every
+        pipeline transition, and ``is`` checks are much cheaper than
+        ``Enum.__hash__``.
+        """
+        phase_routers = self.network.phase_routers
+        node = self.node
+        if old is VCState.ROUTING:
+            bucket = self._routing_vcs
+            bucket.discard(ivc)
+            self._sorted_routing = None
+            if not bucket:
+                phase_routers[0].discard(node)
+        elif old is VCState.WAITING_VA:
+            bucket = self._waiting_va_vcs
+            bucket.discard(ivc)
+            self._sorted_waiting = None
+            if not bucket:
+                phase_routers[1].discard(node)
+        elif old is VCState.ACTIVE:
+            bucket = self._active_vcs
+            bucket.discard(ivc)
+            self._sorted_active = None
+            if not bucket:
+                phase_routers[2].discard(node)
+        if new is VCState.ROUTING:
+            bucket = self._routing_vcs
+            if not bucket:
+                phase_routers[0].add(node)
+            bucket.add(ivc)
+            self._sorted_routing = None
+        elif new is VCState.WAITING_VA:
+            bucket = self._waiting_va_vcs
+            if not bucket:
+                phase_routers[1].add(node)
+            bucket.add(ivc)
+            self._sorted_waiting = None
+        elif new is VCState.ACTIVE:
+            bucket = self._active_vcs
+            if not bucket:
+                phase_routers[2].add(node)
+            bucket.add(ivc)
+            self._sorted_active = None
+
+    def on_vc_occupancy_change(self, ivc: InputVC, delta: int) -> None:
+        """A flit entered/left ``ivc``; maintain the O(1) buffered counter."""
+        if ivc.port != LOCAL_PORT:
+            self.network.buffered_flits += delta
+        if ivc.ring_id is not None and ivc.owner is None:
+            # First flit into / last flit out of an unowned ring escape
+            # buffer flips its worm-bubble status.
+            if delta > 0:
+                if len(ivc.flits) == 1:
+                    self.network.flow_control.on_bubble_change(ivc, 1)
+            elif not ivc.flits:
+                self.network.flow_control.on_bubble_change(ivc, -1)
+
+    def on_vc_bubble_change(self, ivc: InputVC, occupied_delta: int) -> None:
+        """An owner change flipped ``ivc``'s worm-bubble status."""
+        self.network.flow_control.on_bubble_change(ivc, occupied_delta)
 
     # -- pipeline stages ------------------------------------------------------
 
     def route_compute(self, cycle: int) -> None:
         """Resolve routing candidates for heads whose RC stage completed."""
+        if not self._routing_vcs:
+            return
         routing = self.network.routing
-        cfg = self.network.config
-        for port_list in self.inputs:
-            for ivc in port_list:
-                if ivc.state is VCState.ROUTING and cycle >= ivc.stage_ready:
-                    head = ivc.head_flit()
-                    assert head is not None and head.is_head
-                    adaptive, escape = routing.route(self.node, head.packet)
-                    ivc.route_candidates = (adaptive, escape)
-                    ivc.state = VCState.WAITING_VA
-                    ivc.stage_ready = cycle + cfg.vc_alloc_delay
-                    ivc.va_first_request = None
+        vcs = self._sorted_routing
+        if vcs is None:
+            vcs = self._sorted_routing = sorted(self._routing_vcs, key=_scan_order)
+        for ivc in vcs:
+            if ivc._state is VCState.ROUTING and cycle >= ivc.stage_ready:
+                head = ivc.head_flit()
+                assert head is not None and head.is_head
+                adaptive, escape = routing.route(self.node, head.packet)
+                ivc.route_candidates = (adaptive, escape)
+                ivc.state = VCState.WAITING_VA
+                ivc.stage_ready = cycle + self._vc_alloc_delay
+                ivc.va_first_request = None
 
     def vc_allocate(self, cycle: int) -> None:
         """Grant output VCs to waiting heads (adaptive first, then escape)."""
+        if not self._waiting_va_vcs:
+            return
         fc = self.network.flow_control
-        cfg = self.network.config
+        vcs = self._sorted_waiting
+        if vcs is None:
+            vcs = self._sorted_waiting = sorted(self._waiting_va_vcs, key=_scan_order)
         requesters = [
             ivc
-            for port_list in self.inputs
-            for ivc in port_list
-            if ivc.state is VCState.WAITING_VA and cycle >= ivc.stage_ready
+            for ivc in vcs
+            if ivc._state is VCState.WAITING_VA and cycle >= ivc.stage_ready
         ]
-        for ivc in self._va_arbiter.rotated(requesters):
+        if len(requesters) == 1:
+            # Rotating a single-element list is the identity; only the
+            # arbiter pointer advance is observable.
+            self._va_arbiter._ptr += 1
+            granted = requesters
+        else:
+            granted = self._va_arbiter.rotated(requesters)
+        for ivc in granted:
             head = ivc.head_flit()
             assert head is not None
             packet = head.packet
@@ -112,24 +227,50 @@ class Router:
             # re-entered worm with no reservation budget — the liveness
             # hole analysed in repro.core.wbfc's module notes.
             in_ring_continuation = fc.is_in_ring_move(ivc, self.node, escape_port)
-            if not in_ring_continuation and self._try_adaptive(
-                ivc, packet, adaptive_ports, cycle
+            if (
+                self._has_adaptive
+                and not in_ring_continuation
+                and self._try_adaptive(ivc, packet, adaptive_ports, cycle)
             ):
                 continue
-            self._try_escape(ivc, packet, escape_port, cycle)
+            self._try_escape(ivc, packet, escape_port, cycle, in_ring_continuation)
 
     def switch_allocate(self, cycle: int) -> None:
         """Separable input-first switch allocation; one flit per port."""
+        if not self._active_vcs:
+            return
+        # Group SA-eligible VCs by input port, in (port, vc) scan order; the
+        # per-port arbiter pointer only advances on non-empty request lists,
+        # so skipping ports with no ACTIVE VC matches the full scan exactly.
+        vcs = self._sorted_active
+        if vcs is None:
+            vcs = self._sorted_active = sorted(self._active_vcs, key=_scan_order)
+        outputs = self.outputs
+        if len(vcs) == 1:
+            # Lone ACTIVE VC: both arbiters see a one-element request list,
+            # whose pick is the identity plus a pointer advance.
+            ivc = vcs[0]
+            if ivc._state is VCState.ACTIVE and cycle >= ivc.stage_ready and ivc.flits:
+                out_port = ivc.out_port
+                if out_port == LOCAL_PORT or outputs[out_port][ivc.out_vc].credits > 0:  # type: ignore[index]
+                    self._sa_input_arbiters[ivc.port]._ptr += 1
+                    self._sa_output_arbiters[out_port]._ptr += 1  # type: ignore[index]
+                    self._send(ivc, cycle)
+            return
+        eligible_by_port: dict[int, list[InputVC]] = {}
+        for ivc in vcs:
+            if (
+                ivc._state is not VCState.ACTIVE
+                or cycle < ivc.stage_ready
+                or not ivc.flits
+            ):
+                continue
+            out_port = ivc.out_port
+            if out_port != LOCAL_PORT and outputs[out_port][ivc.out_vc].credits <= 0:  # type: ignore[index]
+                continue
+            eligible_by_port.setdefault(ivc.port, []).append(ivc)
         requests: dict[int, list[InputVC]] = {}
-        for in_port, port_list in enumerate(self.inputs):
-            eligible = [
-                ivc
-                for ivc in port_list
-                if ivc.state is VCState.ACTIVE
-                and cycle >= ivc.stage_ready
-                and ivc.flits
-                and self._can_send(ivc)
-            ]
+        for in_port, eligible in eligible_by_port.items():
             pick = self._sa_input_arbiters[in_port].pick(eligible)
             if pick is not None:
                 requests.setdefault(pick.out_port, []).append(pick)  # type: ignore[arg-type]
@@ -152,15 +293,18 @@ class Router:
             outs = self.outputs[port]
             if outs is None:
                 continue
+            # Congestion-aware port selection: prefer the output whose
+            # buffers currently hold the most free credits.  The score
+            # depends only on the port, so ports that cannot beat the
+            # current best need no VC admission checks at all.
+            score = sum(o.credits for o in outs)
+            if score <= best_score:
+                continue
             for vc in range(cfg.num_escape_vcs, cfg.num_vcs):
                 ovc = outs[vc]
                 if not self._ovc_admits(ovc, packet):
                     continue
-                # Congestion-aware port selection: prefer the output whose
-                # buffers currently hold the most free credits.
-                score = sum(o.credits for o in outs)
-                if score > best_score:
-                    best, best_score = (port, vc, ovc), score
+                best, best_score = (port, vc, ovc), score
                 break  # one free VC per port is enough to consider the port
         if best is None:
             return False
@@ -168,7 +312,11 @@ class Router:
         self._grant(ivc, packet, port, vc, False, False, cycle)
         return True
 
-    def _try_escape(self, ivc: InputVC, packet: Packet, escape_port: int, cycle: int) -> bool:
+    def _try_escape(
+        self, ivc: InputVC, packet: Packet, escape_port: int, cycle: int, in_ring: bool
+    ) -> bool:
+        """``in_ring`` is the caller's ``is_in_ring_move`` result (pure in
+        its arguments, so recomputing it here would be redundant)."""
         fc = self.network.flow_control
         outs = self.outputs[escape_port]
         if outs is None:
@@ -176,7 +324,6 @@ class Router:
                 f"escape route of packet {packet.pid} leaves node {self.node} "
                 f"through unconnected port {escape_port}"
             )
-        in_ring = fc.is_in_ring_move(ivc, self.node, escape_port)
         for vc in fc.escape_vc_choices(packet, self.node, escape_port, in_ring):
             ovc = outs[vc]
             if not self._ovc_admits(ovc, packet):
@@ -195,12 +342,11 @@ class Router:
         needs one free flit slot (Equation 2).  Non-atomic modes still
         serialize packets per output VC so flits never interleave.
         """
-        sw = self.network.config.switching
-        if sw is Switching.WORMHOLE_ATOMIC:
-            return ovc.is_free_for_allocation
+        if self._atomic:
+            return ovc.allocated_to is None and ovc.credits == ovc.downstream.capacity
         if ovc.allocated_to is not None:
             return False
-        need = packet.length if sw is Switching.VCT else 1
+        need = packet.length if self._switching is Switching.VCT else 1
         return ovc.credits >= need
 
     def _grant(
@@ -231,7 +377,7 @@ class Router:
             if packet.current_ctx is not None and not staying:
                 fc.on_leave_ring(packet, self.node, cycle)
             ovc.allocated_to = packet
-            if self.network.config.switching is Switching.WORMHOLE_ATOMIC:
+            if self._atomic:
                 target.owner = packet
             if is_escape_hop and target.ring_id is not None:
                 fc.on_acquire(packet, target, in_ring, self.node, cycle)
@@ -247,39 +393,31 @@ class Router:
         ivc.out_vc = out_vc
         ivc.state = VCState.ACTIVE
         ivc.stage_ready = cycle + 1
-        self.network.activity["va_grants"] += 1
+        self.network.act_va_grants += 1
 
     # -- SA helpers -------------------------------------------------------------
 
-    def _can_send(self, ivc: InputVC) -> bool:
-        if ivc.out_port == LOCAL_PORT:
-            return True
-        outs = self.outputs[ivc.out_port]  # type: ignore[index]
-        assert outs is not None
-        return outs[ivc.out_vc].has_credit  # type: ignore[index]
-
     def _send(self, ivc: InputVC, cycle: int) -> None:
         net = self.network
-        cfg = net.config
         flit = ivc.pop()
         if ivc.port == LOCAL_PORT and flit.is_head:
             flit.packet.injected_cycle = cycle
             net.flits_in_network += flit.packet.length
-        net.activity["buffer_reads"] += 1
-        net.activity["xbar_traversals"] += 1
+        net.act_buffer_reads += 1
+        net.act_xbar_traversals += 1
         if ivc.out_port == LOCAL_PORT:
-            net.schedule_ejection(self.node, flit, cycle + cfg.st_link_delay)
+            net.schedule_ejection(self.node, flit, cycle + self._st_link_delay)
         else:
             outs = self.outputs[ivc.out_port]  # type: ignore[index]
             assert outs is not None
             ovc = outs[ivc.out_vc]  # type: ignore[index]
             ovc.take_credit()
-            net.schedule_arrival(ovc.downstream, flit, cycle + cfg.st_link_delay)
-            net.activity["link_traversals"] += 1
-        atomic = cfg.switching is Switching.WORMHOLE_ATOMIC
+            net.schedule_arrival(ovc.downstream, flit, cycle + self._st_link_delay)
+            net.act_link_traversals += 1
+        atomic = self._atomic
         if ivc.feeder is not None:
             net.schedule_credit(
-                ivc.feeder, flit.is_tail and atomic, cycle + cfg.credit_delay
+                ivc.feeder, flit.is_tail and atomic, cycle + self._credit_delay
             )
         net.flits_moved_this_cycle += 1
         if not atomic and ivc.port != LOCAL_PORT:
@@ -292,6 +430,8 @@ class Router:
                 assert outs is not None
                 outs[ivc.out_vc].allocated_to = None  # type: ignore[index]
             if ivc.port == LOCAL_PORT:
+                # The staged packet has fully left its NIC slot.
+                net.backlog_packets -= 1
                 ivc.release()
             elif atomic:
                 net.flow_control.on_vacate(ivc)

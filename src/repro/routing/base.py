@@ -23,6 +23,9 @@ class RoutingFunction(ABC):
 
     def __init__(self, topology: Topology):
         self.topology = topology
+        #: Route lookups are pure in (node, packet.dst), so memoize them;
+        #: a network does at most ``num_nodes**2`` distinct lookups.
+        self._route_cache: dict[tuple[int, int], tuple[tuple[int, ...], int]] = {}
 
     @abstractmethod
     def escape_port(self, node: int, packet: Packet) -> int:
@@ -40,5 +43,12 @@ class RoutingFunction(ABC):
         return (self.escape_port(node, packet),)
 
     def route(self, node: int, packet: Packet) -> tuple[tuple[int, ...], int]:
-        """Convenience: ``(adaptive candidate ports, escape port)``."""
-        return self.adaptive_ports(node, packet), self.escape_port(node, packet)
+        """Memoized ``(adaptive candidate ports, escape port)``."""
+        key = (node, packet.dst)
+        hit = self._route_cache.get(key)
+        if hit is None:
+            hit = self._route_cache[key] = (
+                self.adaptive_ports(node, packet),
+                self.escape_port(node, packet),
+            )
+        return hit

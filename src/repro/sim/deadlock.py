@@ -42,8 +42,8 @@ class Watchdog:
         if net.flits_moved_this_cycle > 0:
             self._idle_cycles = 0
             return
-        snapshot = net.occupancy_snapshot()
-        if snapshot["buffered"] == 0 and snapshot["backlog"] == 0:
+        # Direct reads of the same O(1) counters occupancy_snapshot reports.
+        if net.buffered_flits == 0 and net.backlog_packets == 0:
             self._idle_cycles = 0
             return
         self._idle_cycles += 1
@@ -54,7 +54,7 @@ class Watchdog:
             if self.raise_on_deadlock:
                 raise DeadlockError(
                     f"no flit moved for {self._idle_cycles} cycles at cycle "
-                    f"{cycle} with {snapshot['buffered']} flits buffered "
+                    f"{cycle} with {net.buffered_flits} flits buffered "
                     f"({net.flow_control.name} flow control)"
                 )
 

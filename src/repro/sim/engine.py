@@ -77,9 +77,9 @@ class Simulator:
         network.begin_cycle(cycle)
         if self.workload is not None:
             self.workload.step(cycle, network)
-            # Packets offered this cycle become eligible immediately.
-            for nic in network.nics:
-                nic.load(cycle)
+        # One NIC load per cycle, after the workload's offers, so packets
+        # offered this cycle become injection-eligible immediately.
+        network.load_nics(cycle)
         network.run_router_phases(cycle)
         self.watchdog.observe(cycle)
         for listener in self.cycle_listeners:

@@ -1,0 +1,101 @@
+"""Golden per-packet traces pinning exact simulation semantics.
+
+These traces were recorded from the scan-based (pre-active-set) cycle
+kernel, after the one-load-per-cycle NIC fix.  The active-set scheduler
+is a pure performance optimization: every (pid, src, dst, created,
+injected, ejected) tuple must stay bit-identical.  If a deliberate
+semantic change ever invalidates these, regenerate them with the snippet
+in each test's docstring and say so loudly in the PR.
+"""
+
+from repro.core.wbfc import WormBubbleFlowControl
+from repro.experiments.designs import build_network
+from repro.network.network import Network
+from repro.routing.ring_routing import RingRouting
+from repro.sim.config import SimulationConfig
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.ring import UnidirectionalRing
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import UniformRandom, make_pattern
+
+# (pid, src, dst, created_cycle, injected_cycle, ejected_cycle)
+GOLDEN_RING_8 = [
+    (0, 7, 0, 0, 4, 9), (2, 5, 3, 3, 6, 31), (1, 3, 0, 3, 8, 33),
+    (8, 5, 6, 15, 32, 37), (3, 3, 2, 5, 32, 61), (5, 0, 7, 13, 34, 63),
+    (4, 2, 3, 10, 62, 71), (16, 7, 1, 33, 64, 73), (12, 3, 0, 20, 72, 97),
+    (9, 6, 2, 17, 97, 118), (18, 3, 2, 35, 88, 130), (11, 2, 4, 20, 131, 144),
+    (26, 2, 5, 54, 145, 158), (17, 5, 7, 34, 146, 159), (19, 7, 0, 41, 160, 169),
+    (6, 0, 1, 15, 165, 174), (54, 5, 0, 109, 160, 175), (13, 0, 1, 23, 176, 181),
+    (15, 0, 3, 28, 182, 200), (7, 1, 7, 15, 175, 204), (21, 7, 2, 46, 205, 218),
+    (27, 4, 1, 59, 204, 229), (20, 6, 5, 44, 172, 231), (22, 3, 7, 49, 201, 233),
+    (10, 1, 5, 18, 230, 247), (25, 6, 4, 53, 235, 264), (57, 5, 0, 114, 266, 283),
+    (24, 0, 2, 53, 284, 297),
+]
+
+GOLDEN_TORUS_4X4_HEAD = [
+    (0, 3, 4, 0, 3, 12), (7, 14, 6, 4, 7, 16), (2, 13, 12, 2, 8, 17),
+    (4, 7, 6, 3, 10, 20), (1, 6, 11, 2, 6, 20), (12, 9, 1, 9, 12, 21),
+    (9, 2, 15, 6, 10, 28), (5, 13, 12, 3, 21, 30), (22, 12, 8, 17, 22, 31),
+    (24, 5, 4, 18, 23, 32), (27, 14, 10, 19, 23, 32), (15, 6, 14, 12, 19, 32),
+    (32, 7, 3, 27, 31, 36), (26, 5, 6, 19, 33, 38), (18, 14, 8, 13, 16, 38),
+    (3, 0, 11, 3, 7, 38), (10, 10, 1, 6, 13, 39), (13, 11, 4, 10, 16, 41),
+    (25, 9, 6, 18, 33, 42), (19, 3, 14, 16, 33, 42), (14, 2, 1, 12, 39, 44),
+    (16, 8, 15, 13, 27, 44), (29, 5, 0, 20, 38, 47), (20, 15, 12, 16, 38, 47),
+    (6, 0, 8, 4, 36, 49), (41, 7, 15, 36, 40, 50), (40, 0, 5, 35, 46, 55),
+    (48, 11, 12, 43, 46, 55), (21, 6, 3, 17, 39, 57), (8, 13, 8, 5, 38, 58),
+    (11, 13, 1, 7, 55, 60), (33, 8, 3, 27, 42, 61), (54, 14, 6, 49, 53, 62),
+    (38, 5, 8, 32, 47, 63), (43, 7, 5, 39, 56, 65), (47, 7, 4, 43, 62, 67),
+    (30, 9, 12, 25, 37, 70), (39, 2, 12, 33, 46, 73), (17, 13, 14, 13, 61, 74),
+    (31, 6, 14, 26, 58, 75), (34, 9, 8, 27, 67, 76), (42, 0, 10, 39, 53, 76),
+    (23, 13, 1, 17, 73, 82), (74, 11, 14, 68, 72, 82), (49, 0, 10, 45, 65, 83),
+    (35, 1, 12, 28, 45, 84), (61, 8, 6, 58, 66, 85), (63, 1, 0, 61, 85, 90),
+    (65, 7, 10, 61, 66, 90), (55, 2, 15, 50, 76, 90), (45, 1, 6, 42, 81, 91),
+    (76, 14, 10, 72, 82, 92), (37, 4, 9, 32, 70, 93), (57, 14, 8, 52, 66, 94),
+    (53, 0, 11, 48, 83, 96), (88, 11, 0, 81, 84, 98), (68, 1, 3, 63, 89, 98),
+    (60, 0, 13, 57, 88, 98), (82, 15, 12, 78, 95, 100), (36, 6, 10, 31, 92, 101),
+]
+
+#: Aggregates over the full 400-cycle torus trace (all 257 ejections).
+GOLDEN_TORUS_4X4_COUNT = 257
+GOLDEN_TORUS_4X4_SUM_EJECTED = 52157
+GOLDEN_TORUS_4X4_SUM_LATENCY = 17899
+
+
+def _trace(network, workload, cycles):
+    trace = []
+    network.ejection_listeners.append(
+        lambda p, c: trace.append(
+            (p.pid, p.src, p.dst, p.created_cycle, p.injected_cycle, c)
+        )
+    )
+    Simulator(
+        network, workload, watchdog=Watchdog(network, deadlock_window=10_000)
+    ).run(cycles)
+    return trace
+
+
+def test_golden_trace_wbfc_ring():
+    """8-node WBFC ring, UR @ 0.15, seed 5, 300 cycles, 2-flit buffers."""
+    topo = UnidirectionalRing(8)
+    net = Network(
+        topo,
+        RingRouting(topo),
+        WormBubbleFlowControl(),
+        SimulationConfig(num_vcs=1, buffer_depth=2),
+    )
+    wl = SyntheticTraffic(UniformRandom(topo), 0.15, seed=5)
+    assert _trace(net, wl, 300) == GOLDEN_RING_8
+
+
+def test_golden_trace_wbfc_torus():
+    """4x4 torus WBFC-1VC, UR @ 0.20, seed 11, 400 cycles."""
+    topo = Torus((4, 4))
+    net = build_network("WBFC-1VC", topo)
+    wl = SyntheticTraffic(make_pattern("UR", topo), 0.20, seed=11)
+    trace = _trace(net, wl, 400)
+    assert trace[: len(GOLDEN_TORUS_4X4_HEAD)] == GOLDEN_TORUS_4X4_HEAD
+    assert len(trace) == GOLDEN_TORUS_4X4_COUNT
+    assert sum(t[5] for t in trace) == GOLDEN_TORUS_4X4_SUM_EJECTED
+    assert sum(t[5] - t[3] for t in trace) == GOLDEN_TORUS_4X4_SUM_LATENCY

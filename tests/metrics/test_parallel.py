@@ -1,0 +1,88 @@
+"""Parallel sweep runner: bit-identity with serial, API behaviour."""
+
+from functools import partial
+
+import pytest
+
+from repro.metrics.parallel import default_workers, run_points
+from repro.metrics.stats import MeasurementSummary
+from repro.metrics.sweep import SweepPoint, SweepResult, run_point, sweep
+from repro.topology.torus import Torus
+
+RATES = [0.05, 0.12]
+POINT_KW = dict(warmup=200, measure=800, seed=7)
+
+
+class TestRunPoints:
+    def test_preserves_input_order(self):
+        factory = partial(Torus, (4, 4))
+        tasks = [
+            (("WBFC-1VC", factory, "UR", rate), dict(POINT_KW)) for rate in RATES
+        ]
+        summaries = run_points(tasks, workers=1)
+        assert [s.packets for s in summaries] == [
+            run_point("WBFC-1VC", factory, "UR", rate, **POINT_KW).packets
+            for rate in RATES
+        ]
+
+    def test_default_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "bogus")
+        with pytest.raises(ValueError):
+            default_workers()
+        monkeypatch.delenv("REPRO_WORKERS")
+        assert default_workers() >= 1
+
+
+class TestParallelBitIdentity:
+    def test_parallel_sweep_identical_to_serial(self):
+        """Acceptance criterion: same seeds => bit-identical SweepPoints.
+
+        MeasurementSummary fields are exact dataclass equality — no
+        tolerance — so any RNG or ordering divergence in the process
+        fan-out fails loudly.
+        """
+        factory = partial(Torus, (4, 4))
+        serial = sweep("WBFC-1VC", factory, "UR", RATES, workers=1, **POINT_KW)
+        parallel = sweep("WBFC-1VC", factory, "UR", RATES, workers=2, **POINT_KW)
+        assert len(serial.points) == len(parallel.points) == len(RATES)
+        for s, p in zip(serial.points, parallel.points):
+            assert s.injection_rate == p.injection_rate
+            assert s.summary == p.summary  # frozen dataclass: field-exact
+
+    def test_parallel_two_designs_identical_to_serial(self):
+        factory = partial(Torus, (4, 4))
+        for design in ("WBFC-2VC", "DL-2VC"):
+            serial = run_point(design, factory, "UR", 0.1, **POINT_KW)
+            (via_pool,) = run_points(
+                [((design, factory, "UR", 0.1), dict(POINT_KW))], workers=2
+            )
+            assert serial == via_pool
+
+
+class TestSaturationEdgeCases:
+    @staticmethod
+    def _pt(rate, lat):
+        return SweepPoint(rate, MeasurementSummary(1, lat, lat, rate, 0, 0, 100))
+
+    def test_interpolation_at_exact_threshold_point(self):
+        """A measured point landing exactly on 3x zero-load is returned
+        as-is (t == 1 interpolation), not overshot."""
+        curve = SweepResult(design="x", pattern="UR")
+        curve.points = [self._pt(0.05, 10.0), self._pt(0.2, 20.0), self._pt(0.3, 30.0)]
+        assert curve.saturation() == pytest.approx(0.3)
+
+    def test_threshold_at_first_measured_point(self):
+        curve = SweepResult(design="x", pattern="UR")
+        curve.points = [self._pt(0.05, 10.0), self._pt(0.2, 30.0)]
+        # lo == 10, hi == 30, threshold == 30 -> t == 1 -> exactly 0.2
+        assert curve.saturation() == pytest.approx(0.2)
+
+    def test_flat_segment_at_threshold_returns_crossing_rate(self):
+        curve = SweepResult(design="x", pattern="UR")
+        curve.points = [self._pt(0.05, 10.0), self._pt(0.2, 30.0), self._pt(0.3, 30.0)]
+        assert curve.saturation() == pytest.approx(0.2)
+
+    def test_empty_curve_is_zero(self):
+        assert SweepResult(design="x", pattern="UR").saturation() == 0.0

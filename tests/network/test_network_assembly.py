@@ -74,6 +74,17 @@ class TestEventPlumbing:
         snap = net.occupancy_snapshot()
         assert snap == {"buffered": 0, "in_network": 0, "backlog": 0}
 
+    @pytest.mark.parametrize("design", ["WBFC-1VC", "WBFC-2VC", "DL-2VC"])
+    def test_occupancy_counters_match_exhaustive_recount(self, design):
+        """Active-set invariant: the O(1) counters the watchdog and
+        ``occupancy_snapshot`` read must equal a full re-sum of every
+        buffer and NIC queue, mid-flight under random traffic."""
+        from tests.conftest import run_traffic
+
+        net = make_torus_network(design)
+        run_traffic(net, 0.30, 600, seed=11)
+        assert net.occupancy_snapshot() == net.recount_occupancy()
+
 
 class TestDeterminism:
     @pytest.mark.parametrize("design", ["WBFC-1VC", "DL-3VC", "WBFC-3VC"])
