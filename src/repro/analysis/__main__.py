@@ -1,0 +1,105 @@
+"""Command-line front-end: ``python -m repro.analysis <command>``.
+
+Commands:
+
+``certify <DESIGN>``
+    Statically certify a design's escape network deadlock-free (exit 0)
+    or reject it with a witness cycle (exit 1).  ``--expect-reject``
+    inverts the exit status for negative controls in CI.
+
+``lint <path> [path ...]``
+    Run the determinism lint pass (also available directly as
+    ``python -m repro.analysis.lint``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..topology.base import Topology
+
+
+def _parse_topology(spec: str) -> Topology:
+    """Parse ``torus:4x4`` / ``mesh:8x8`` / ``ring:8`` / ``hring:4x4``."""
+    kind, sep, dims = spec.partition(":")
+    if not sep:
+        raise ValueError(f"topology spec '{spec}' needs a ':', e.g. torus:4x4")
+    radices = tuple(int(r) for r in dims.split("x"))
+    if kind == "torus":
+        from ..topology.torus import Torus
+
+        return Torus(radices)
+    if kind == "mesh":
+        from ..topology.mesh import Mesh
+
+        return Mesh(radices)
+    if kind == "ring":
+        from ..topology.ring import UnidirectionalRing
+
+        if len(radices) != 1:
+            raise ValueError("ring takes a single size, e.g. ring:8")
+        return UnidirectionalRing(radices[0])
+    if kind == "hring":
+        from ..topology.hierarchical_ring import HierarchicalRing
+
+        if len(radices) != 2:
+            raise ValueError("hring takes rings x size, e.g. hring:4x4")
+        return HierarchicalRing(radices[0], radices[1])
+    raise ValueError(f"unknown topology kind '{kind}'")
+
+
+def _cmd_certify(args: argparse.Namespace) -> int:
+    from ..sim.config import SimulationConfig
+    from .certify import certify
+
+    config = SimulationConfig(
+        buffer_depth=args.buffer_depth,
+        max_packet_length=args.max_packet_length,
+    )
+    cert = certify(args.design, _parse_topology(args.topology), config)
+    print(cert.report())
+    if args.expect_reject:
+        if cert.ok:
+            print("ERROR: expected a rejection, got a certificate")
+            return 1
+        print("negative control: rejection is the expected outcome")
+        return 0
+    return 0 if cert.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import main as lint_main
+
+    return lint_main(args.paths)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis passes for the simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cert = sub.add_parser("certify", help="certify a design deadlock-free")
+    p_cert.add_argument("design", help="design name, e.g. WBFC-1VC (see repro.experiments.designs)")
+    p_cert.add_argument("--topology", default="torus:4x4", help="e.g. torus:4x4, mesh:8x8, ring:8")
+    p_cert.add_argument("--buffer-depth", type=int, default=3)
+    p_cert.add_argument("--max-packet-length", type=int, default=5)
+    p_cert.add_argument(
+        "--expect-reject",
+        action="store_true",
+        help="negative control: exit 0 iff the design is rejected",
+    )
+    p_cert.set_defaults(fn=_cmd_certify)
+
+    p_lint = sub.add_parser("lint", help="run the determinism lint pass")
+    p_lint.add_argument("paths", nargs="+")
+    p_lint.set_defaults(fn=_cmd_lint)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,212 @@
+"""Channel dependency graph (CDG) construction for escape networks.
+
+Duato's protocol reduces deadlock freedom of the whole network to deadlock
+freedom of the *escape* sub-network: adaptive VCs always have the escape
+path as a fallback, so it suffices that the escape channels' dependency
+graph — "holding channel ``u``, a head may wait on channel ``v``" — has no
+reachable cycle.  This module builds that graph statically for any
+(topology, routing, flow-control) triple by walking the deterministic
+escape route of every (src, dst) pair and enumerating, per hop, the escape
+VC classes the scheme permits via
+:meth:`repro.flowcontrol.base.FlowControl.certify_escape_classes`.
+
+Bubble-style schemes (WBFC, CBS, BFC) never break the ring cycle with VC
+classes; instead they guarantee each unidirectional ring can always drain
+internally.  Per-ring, :meth:`certify_ring_exempt` supplies that
+justification and :meth:`ChannelDependencyGraph.contract` collapses the
+ring to a single vertex: the intra-ring cycle is discharged, while
+dependences entering and leaving the ring (dimension changes, hierarchical
+bridges) are kept and must still be acyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..network.flit import Packet
+from ..network.network import Network
+from ..topology.base import LOCAL_PORT
+
+__all__ = ["EscapeChannel", "ChannelDependencyGraph", "build_cdg"]
+
+#: Contracted-vertex type: an exempt ring collapsed to one vertex.
+RingVertex = tuple[str, str]  # ("ring", ring_id)
+
+
+@dataclass(frozen=True)
+class EscapeChannel:
+    """One escape channel: a (router, output port, VC class) triple.
+
+    ``ring_id`` is the unidirectional ring the channel belongs to, or
+    ``None`` for off-ring channels (mesh links).
+    """
+
+    node: int
+    out_port: int
+    vc: int
+    ring_id: str | None
+
+    def label(self, network: Network | None = None) -> str:
+        port = (
+            network.topology.port_label(self.out_port)
+            if network is not None
+            else f"p{self.out_port}"
+        )
+        ring = f" ring={self.ring_id}" if self.ring_id is not None else ""
+        return f"n{self.node}:{port}:vc{self.vc}{ring}"
+
+
+@dataclass
+class ChannelDependencyGraph:
+    """Escape-channel dependency graph plus per-ring exemption evidence."""
+
+    network: Network
+    #: Insertion-ordered vertex set (deterministic across runs).
+    channels: list[EscapeChannel] = field(default_factory=list)
+    #: ``u -> ordered successors``; "holding u, a head may wait on v".
+    edges: dict[EscapeChannel, list[EscapeChannel]] = field(default_factory=dict)
+    #: ``(u, v) -> example (src, dst)`` traffic pair inducing the edge.
+    edge_witness: dict[tuple[EscapeChannel, EscapeChannel], tuple[int, int]] = field(
+        default_factory=dict
+    )
+    #: ``ring_id -> justification`` from ``certify_ring_exempt``.
+    exempt_rings: dict[str, str] = field(default_factory=dict)
+
+    # -- construction helpers -------------------------------------------------
+
+    def _vertex(self, channel: EscapeChannel) -> EscapeChannel:
+        if channel not in self.edges:
+            self.channels.append(channel)
+            self.edges[channel] = []
+        return channel
+
+    def _edge(
+        self, u: EscapeChannel, v: EscapeChannel, src: int, dst: int
+    ) -> None:
+        self._vertex(u)
+        self._vertex(v)
+        if (u, v) not in self.edge_witness:
+            self.edges[u].append(v)
+            self.edge_witness[(u, v)] = (src, dst)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_witness)
+
+    # -- ring contraction -----------------------------------------------------
+
+    def contracted_vertex(
+        self, channel: EscapeChannel
+    ) -> EscapeChannel | RingVertex:
+        """The vertex ``channel`` maps to after exempt-ring contraction."""
+        if channel.ring_id is not None and channel.ring_id in self.exempt_rings:
+            return ("ring", channel.ring_id)
+        return channel
+
+    def contract(
+        self,
+    ) -> dict[
+        EscapeChannel | RingVertex, list[EscapeChannel | RingVertex]
+    ]:
+        """Adjacency after collapsing each exempt ring to one vertex.
+
+        Intra-ring edges of an exempt ring become self-loops on its ring
+        vertex and are dropped — that is exactly the cycle the scheme's
+        drain guarantee discharges.  Every other edge (including edges
+        between two *different* exempt rings) is kept, so inter-ring
+        cycles — e.g. an unbridged local→global→local hierarchy — still
+        surface as deadlocks.
+        """
+        adj: dict[EscapeChannel | RingVertex, list[EscapeChannel | RingVertex]] = {}
+        seen: set[
+            tuple[EscapeChannel | RingVertex, EscapeChannel | RingVertex]
+        ] = set()
+        for u in self.channels:
+            cu = self.contracted_vertex(u)
+            adj.setdefault(cu, [])
+            for v in self.edges[u]:
+                cv = self.contracted_vertex(v)
+                adj.setdefault(cv, [])
+                if cu == cv and not isinstance(cu, EscapeChannel):
+                    continue  # discharged intra-ring dependence
+                if (cu, cv) not in seen:
+                    seen.add((cu, cv))
+                    adj[cu].append(cv)
+        return adj
+
+    def expand_cycle(
+        self, cycle: list[EscapeChannel | RingVertex]
+    ) -> list[str]:
+        """Render a (possibly contracted) witness cycle as channel labels."""
+        labels: list[str] = []
+        for v in cycle:
+            if isinstance(v, EscapeChannel):
+                labels.append(v.label(self.network))
+            else:
+                labels.append(f"ring {v[1]} (contracted)")
+        return labels
+
+
+def build_cdg(network: Network) -> ChannelDependencyGraph:
+    """Build the escape CDG by walking every (src, dst) escape route.
+
+    The walk mirrors the router's escape pipeline without executing it:
+    the deterministic port comes from ``routing.escape_port``, the
+    admissible VC classes from the scheme's pure
+    ``certify_escape_classes`` hook, and the in-ring test from the same
+    ring registry the router consults.  Class choices branch the walk
+    (Dateline's non-crossing packets may ride either class), so the graph
+    over-approximates any runtime tie-break policy.
+    """
+    topo = network.topology
+    routing = network.routing
+    fc = network.flow_control
+    cdg = ChannelDependencyGraph(network=network)
+    for ring_id in fc.rings:
+        reason = fc.certify_ring_exempt(ring_id)
+        if reason is not None:
+            cdg.exempt_rings[ring_id] = reason
+
+    for src in range(topo.num_nodes):
+        for dst in range(topo.num_nodes):
+            if src == dst:
+                continue
+            pkt = Packet(pid=0, src=src, dst=dst, length=1)
+            # Walk states: (current node, channel held on the previous hop).
+            stack: list[tuple[int, EscapeChannel | None]] = [(src, None)]
+            visited: set[tuple[int, EscapeChannel | None]] = set()
+            while stack:
+                node, held = stack.pop()
+                if (node, held) in visited:
+                    continue
+                visited.add((node, held))
+                if node == dst:
+                    # Ejection: the consumption assumption — NICs always
+                    # drain delivered packets — ends the dependence chain.
+                    continue
+                out_port = routing.escape_port(node, pkt)
+                if out_port == LOCAL_PORT:
+                    continue
+                ring_id = fc.ring_of_output.get((node, out_port))
+                in_ring = (
+                    held is not None
+                    and held.ring_id is not None
+                    and held.ring_id == ring_id
+                )
+                classes = fc.certify_escape_classes(
+                    pkt, node, out_port, in_ring, held.vc if held else None
+                )
+                nbr = topo.neighbor(node, out_port)
+                if nbr is None:  # pragma: no cover - malformed route
+                    raise ValueError(
+                        f"escape route for {src}->{dst} leaves the fabric "
+                        f"at node {node} port {out_port}"
+                    )
+                next_node = nbr[0]
+                for vc in classes:
+                    chan = EscapeChannel(node, out_port, vc, ring_id)
+                    cdg._vertex(chan)
+                    if held is not None:
+                        cdg._edge(held, chan, src, dst)
+                    stack.append((next_node, chan))
+    return cdg

@@ -1,0 +1,117 @@
+"""Iterative Tarjan strongly-connected components.
+
+Used by the deadlock-freedom certifier to find cycles in channel
+dependency graphs.  The implementation is fully iterative (an explicit
+DFS stack instead of recursion) so that CDGs of large networks — one
+vertex per escape channel, thousands on a big torus — never hit Python's
+recursion limit.
+
+Graphs are plain ``dict[node, iterable-of-successors]`` with hashable
+nodes; vertices that appear only as successors are handled too.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, Sequence, TypeVar
+
+__all__ = ["strongly_connected_components", "find_cycle"]
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def strongly_connected_components(
+    graph: Mapping[Node, Iterable[Node]],
+) -> list[list[Node]]:
+    """Tarjan's algorithm, iteratively, in deterministic visit order.
+
+    Returns the SCCs in reverse topological order (every edge leaving an
+    SCC points to an SCC listed *earlier*).  Roots are visited in the
+    mapping's iteration order and successors in their given order, so the
+    output is reproducible for ordered inputs.
+    """
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    sccs: list[list[Node]] = []
+    counter = 0
+
+    def successors(node: Node) -> Sequence[Node]:
+        return tuple(graph.get(node, ()))
+
+    for root in graph:
+        if root in index:
+            continue
+        # Each work-stack frame is (node, iterator position); the child
+        # pointer lets us resume a parent exactly where its DFS left off.
+        work: list[tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_i = work.pop()
+            if child_i == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            succ = successors(node)
+            recursed = False
+            for i in range(child_i, len(succ)):
+                child = succ[i]
+                if child not in index:
+                    # Recurse: re-push the parent to resume past this child.
+                    work.append((node, i + 1))
+                    work.append((child, 0))
+                    recursed = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if recursed:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                component.reverse()
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sccs
+
+
+def find_cycle(
+    graph: Mapping[Node, Iterable[Node]], component: Sequence[Node]
+) -> list[Node]:
+    """One concrete directed cycle inside a strongly connected component.
+
+    ``component`` must be an SCC of ``graph`` with a cycle (size >= 2, or
+    a single vertex with a self-loop).  Returns the cycle as a vertex list
+    whose last element has an edge back to the first.
+    """
+    members = set(component)
+    start = component[0]
+    if len(component) == 1:
+        if start not in set(graph.get(start, ())):
+            raise ValueError("single-vertex component has no self-loop")
+        return [start]
+    # DFS within the component until we step onto a vertex already on the
+    # current path; the path suffix from that vertex is a cycle.
+    path: list[Node] = [start]
+    on_path: dict[Node, int] = {start: 0}
+    iters = [iter(tuple(n for n in graph.get(start, ()) if n in members))]
+    while iters:
+        try:
+            nxt = next(iters[-1])
+        except StopIteration:
+            iters.pop()
+            on_path.pop(path.pop(), None)
+            continue
+        if nxt in on_path:
+            return path[on_path[nxt]:]
+        on_path[nxt] = len(path)
+        path.append(nxt)
+        iters.append(iter(tuple(n for n in graph.get(nxt, ()) if n in members)))
+    raise ValueError("no cycle found; input was not a cyclic SCC")

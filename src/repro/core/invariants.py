@@ -29,7 +29,13 @@ from .colors import WBColor
 from .state import RingContext
 from .wbfc import WormBubbleFlowControl
 
-__all__ = ["RingLedger", "ring_ledger", "check_invariants", "InvariantViolation"]
+__all__ = [
+    "RingLedger",
+    "ring_ledger",
+    "ring_ledgers",
+    "check_invariants",
+    "InvariantViolation",
+]
 
 
 class InvariantViolation(AssertionError):
@@ -74,11 +80,10 @@ def _contexts_of_ring(network: Network, fc: WormBubbleFlowControl, ring_id: str)
     return list(seen.values())
 
 
-def ring_ledger(network: Network, ring_id: str) -> RingLedger:
-    """Census the color tokens of one ring."""
-    fc = network.flow_control
-    if not isinstance(fc, WormBubbleFlowControl):
-        raise TypeError("ring_ledger requires a WBFC-controlled network")
+def _census(
+    network: Network, fc: WormBubbleFlowControl, ring_id: str, ci_total: int
+) -> RingLedger:
+    """Census one ring's color tokens, with its CI sum already computed."""
     whites = blacks = grays = occupied = 0
     for ivc in fc.ring_buffers[ring_id]:
         if ivc.is_worm_bubble:
@@ -97,9 +102,6 @@ def ring_ledger(network: Network, ring_id: str) -> RingLedger:
         grays_held += 1 if ctx.holds_gray else 0
         if not ctx.closed:
             ch_total += ctx.ch
-    ci_total = sum(
-        v for (node, rid), v in fc.ci.items() if rid == ring_id
-    )
     return RingLedger(
         ring_id=ring_id,
         whites=whites,
@@ -115,14 +117,47 @@ def ring_ledger(network: Network, ring_id: str) -> RingLedger:
     )
 
 
-def check_invariants(network: Network) -> None:
+def ring_ledger(network: Network, ring_id: str) -> RingLedger:
+    """Census the color tokens of one ring."""
+    fc = network.flow_control
+    if not isinstance(fc, WormBubbleFlowControl):
+        raise TypeError("ring_ledger requires a WBFC-controlled network")
+    ci_total = sum(v for (node, rid), v in fc.ci.items() if rid == ring_id)
+    return _census(network, fc, ring_id, ci_total)
+
+
+def ring_ledgers(network: Network) -> dict[str, RingLedger]:
+    """Census every ring in one pass over the shared CI map.
+
+    Equivalent to ``{rid: ring_ledger(network, rid) for rid in rings}``
+    but sums CI entries once instead of once per ring — this is the form
+    the per-cycle sanitizer uses.
+    """
+    fc = network.flow_control
+    if not isinstance(fc, WormBubbleFlowControl):
+        raise TypeError("ring_ledgers requires a WBFC-controlled network")
+    ci_by_ring: dict[str, int] = dict.fromkeys(fc.ring_buffers, 0)
+    for (node, rid), v in fc.ci.items():
+        if v:
+            ci_by_ring[rid] += v
+    return {
+        ring_id: _census(network, fc, ring_id, ci_by_ring[ring_id])
+        for ring_id in fc.ring_buffers
+    }
+
+
+def check_invariants(
+    network: Network, ledgers: dict[str, RingLedger] | None = None
+) -> None:
     """Raise :class:`InvariantViolation` if any conservation law fails."""
     fc = network.flow_control
     if not isinstance(fc, WormBubbleFlowControl):
         raise TypeError("check_invariants requires a WBFC-controlled network")
+    if ledgers is None:
+        ledgers = ring_ledgers(network)
     problems = []
     for ring_id in fc.ring_buffers:
-        ledger = ring_ledger(network, ring_id)
+        ledger = ledgers[ring_id]
         if ledger.gray_count != 1:
             problems.append(
                 f"ring {ring_id}: gray count {ledger.gray_count} != 1 ({ledger})"

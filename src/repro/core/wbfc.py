@@ -352,6 +352,30 @@ class WormBubbleFlowControl(FlowControl):
                 self._downstream_of[(hop.node, ring_id)] = buffers[(pos + 1) % k]
         self._ci_order = {key: rank for rank, key in enumerate(self.ci)}
 
+    # -- static certification ---------------------------------------------------
+
+    def certify_ring_exempt(self, ring_id: str) -> str | None:
+        """Theorem 1: the ring's internal escape cycle cannot deadlock.
+
+        WBFC initializes every ring with one gray and ``ML - 1`` black
+        worm-bubbles and its injection rules (Equations 5/6) never let the
+        last marked bubble be consumed, so at least one empty escape
+        buffer entitlement survives any injection and the ring always
+        internally drains.  The guarantee needs the structural
+        precondition ``validate()`` enforces — re-checked here so the
+        certifier can score rings of a not-yet-validated configuration.
+        """
+        assert self.network is not None
+        cfg = self.network.config
+        ml = math.ceil(cfg.max_packet_length / cfg.buffer_depth)
+        ring = self.rings.get(ring_id)
+        if ring is None or len(ring) < max(ml + 1, 2):
+            return None
+        return (
+            f"WBFC Theorem 1: ring {ring_id} (len {len(ring)}) keeps a "
+            f"marked worm-bubble alive (ML={ml}: 1 gray + {ml - 1} black)"
+        )
+
     # -- Definition 3 ----------------------------------------------------------
 
     @staticmethod

@@ -154,6 +154,49 @@ class FlowControl(ABC):
         occupancy counts (WBFC's work-proportional displacement) override it.
         """
 
+    # -- static certification ------------------------------------------------
+
+    def certify_ring_exempt(self, ring_id: str) -> str | None:
+        """Justification for dropping ``ring_id``'s internal CDG cycle.
+
+        The deadlock-freedom certifier (:mod:`repro.analysis.certify`)
+        builds the escape-channel dependency graph, in which every
+        unidirectional ring is by construction a cycle.  A scheme that
+        *guarantees* the ring can always internally drain — bubble-style
+        schemes keeping at least one free buffer entitlement alive per
+        ring — returns a one-line justification here and the certifier
+        contracts the ring to a single vertex (its internal cycle is
+        discharged; dependences entering and leaving the ring remain).
+
+        Return ``None`` when no such guarantee exists: the ring's cycle
+        stays in the CDG and, unless broken by VC classes (Dateline), the
+        configuration is rejected.  Implementations must re-check their
+        structural preconditions (ring length, buffer depth) rather than
+        assume ``validate()`` ran.
+        """
+        return None
+
+    def certify_escape_classes(
+        self,
+        packet: Packet,
+        node: int,
+        out_port: int,
+        in_ring: bool,
+        prev_class: int | None,
+    ) -> tuple[int, ...]:
+        """Escape VC classes a head may wait on at this hop — statically.
+
+        Used by the certifier's route walk instead of
+        :meth:`escape_vc_choices`, which schemes may implement with side
+        effects (WBFC marks worm-bubbles, Dateline toggles its balance
+        bit).  Implementations must be pure and may condition only on the
+        walk state: ``prev_class`` is the class held on the previous hop
+        (``None`` at injection).  The default delegates to
+        ``escape_vc_choices``, which is side-effect-free for every scheme
+        except Dateline (which overrides this hook).
+        """
+        return self.escape_vc_choices(packet, node, out_port, in_ring)
+
     # -- helpers ------------------------------------------------------------
 
     def is_in_ring_move(self, src_ivc: InputVC | None, node: int, out_port: int) -> bool:

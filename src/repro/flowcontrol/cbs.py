@@ -61,6 +61,28 @@ class CriticalBubbleScheme(FlowControl):
         for buffers in self.ring_buffers.values():
             buffers[0].critical = True
 
+    # -- static certification ----------------------------------------------------
+
+    def certify_ring_exempt(self, ring_id: str) -> str | None:
+        """CBS keeps one critical bubble per ring that injections never eat."""
+        assert self.network is not None
+        cfg = self.network.config
+        bubble = self.bubble_flits
+        if bubble is None:
+            bubble = (
+                cfg.max_packet_length
+                if cfg.switching is Switching.VCT
+                else 1
+            )
+        if cfg.switching is Switching.WORMHOLE_ATOMIC:
+            return None
+        if cfg.buffer_depth < bubble or ring_id not in self.rings:
+            return None
+        return (
+            f"CBS: ring {ring_id} always retains its {bubble}-flit critical "
+            "bubble (injections must leave it; transit displaces it backward)"
+        )
+
     # -- rules -----------------------------------------------------------------
 
     def escape_vc_choices(

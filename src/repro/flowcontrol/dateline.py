@@ -90,6 +90,36 @@ class DatelineFlowControl(FlowControl):
         self._balance[key] = toggle ^ 1
         return (_LOW, _HIGH) if toggle == 0 else (_HIGH, _LOW)
 
+    def certify_escape_classes(
+        self,
+        packet: Packet,
+        node: int,
+        out_port: int,
+        in_ring: bool,
+        prev_class: int | None,
+    ) -> tuple[int, ...]:
+        """Pure mirror of :meth:`escape_vc_choices` for the static certifier.
+
+        Conditions the in-ring case on ``prev_class`` (the certifier's walk
+        state) instead of the runtime ``RingContext``, and skips the balance
+        toggle: both classes are enumerated for non-crossing packets, which
+        over-approximates either runtime ordering.
+        """
+        ring_id = self.ring_of_output.get((node, out_port))
+        if ring_id is None:
+            return (_LOW, _HIGH)
+        if in_ring:
+            high = prev_class == _HIGH or self._is_dateline_link(node, ring_id)
+            return (_HIGH,) if high else (_LOW,)
+        if self._is_dateline_link(node, ring_id):
+            return (_HIGH,)
+        down_node = self.rings[ring_id].hops[
+            (self.ring_position[(ring_id, node)] + 1) % len(self.rings[ring_id])
+        ].node
+        if self._crosses_dateline(down_node, packet, ring_id):
+            return (_LOW,)
+        return (_LOW, _HIGH)
+
     def allow_escape(
         self,
         packet: Packet,

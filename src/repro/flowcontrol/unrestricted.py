@@ -23,6 +23,12 @@ class UnrestrictedFlowControl(FlowControl):
         # Any escape-VC count is acceptable; there is nothing to enforce.
         assert self.network is not None
 
+    def certify_ring_exempt(self, ring_id: str) -> str | None:
+        # Explicitly no guarantee: ring cycles stay in the CDG, so the
+        # static certifier rejects any ring-bearing topology — matching
+        # the watchdog's dynamic verdict on the same configurations.
+        return None
+
     def escape_vc_choices(self, packet, node, out_port, in_ring):
         assert self.network is not None
         return tuple(range(self.network.config.num_escape_vcs))

@@ -52,6 +52,23 @@ def _run_one(task: PointTask) -> Any:
     return run_point(*args, **kwargs)
 
 
+#: Environment knobs every pool worker must see exactly as the parent
+#: does.  ``fork`` children inherit the environment anyway, but ``spawn``
+#: (macOS/Windows default) starts from a fresh interpreter — without
+#: re-asserting these, ``REPRO_SANITIZE=1`` sweeps would silently sanitize
+#: only the parent process.
+_FORWARDED_ENV = (
+    "REPRO_SANITIZE",
+    "REPRO_SANITIZE_INTERVAL",
+)
+
+
+def _init_worker(env: dict[str, str]) -> None:
+    for key in _FORWARDED_ENV:
+        os.environ.pop(key, None)
+    os.environ.update(env)
+
+
 def run_points(tasks: Iterable[PointTask], *, workers: int | None = None) -> list:
     """Evaluate independent ``run_point`` tasks, preserving input order.
 
@@ -64,5 +81,10 @@ def run_points(tasks: Iterable[PointTask], *, workers: int | None = None) -> lis
     n = min(n, len(tasks))
     if n <= 1:
         return [_run_one(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=n) as pool:
+    env = {
+        key: os.environ[key] for key in _FORWARDED_ENV if key in os.environ
+    }
+    with ProcessPoolExecutor(
+        max_workers=n, initializer=_init_worker, initargs=(env,)
+    ) as pool:
         return list(pool.map(_run_one, tasks))

@@ -230,6 +230,29 @@ class Network:
 
     # -- diagnostics -------------------------------------------------------------------
 
+    def inflight_snapshot(
+        self,
+    ) -> tuple[dict[InputVC, int], dict[OutputVC, int]]:
+        """Scheduled-but-undelivered events, summed per endpoint.
+
+        Returns ``(arrivals, credits)``: flits in flight toward each input
+        VC and credits in flight toward each output VC.  The credit
+        conservation law the sanitizer checks at every cycle boundary is,
+        per link VC::
+
+            ovc.credits + len(downstream.flits)
+                + arrivals[downstream] + credits[ovc] == capacity
+        """
+        arrivals: dict[InputVC, int] = {}
+        for events in self._arrivals.values():
+            for ivc, _flit in events:
+                arrivals[ivc] = arrivals.get(ivc, 0) + 1
+        credits: dict[OutputVC, int] = {}
+        for events in self._credits.values():
+            for ovc, _is_tail in events:
+                credits[ovc] = credits.get(ovc, 0) + 1
+        return arrivals, credits
+
     def total_backlog(self) -> int:
         """Packets waiting in all NIC source queues (O(1) counter)."""
         return self.backlog_packets

@@ -171,6 +171,26 @@ class Router:
         """An owner change flipped ``ivc``'s worm-bubble status."""
         self.network.flow_control.on_bubble_change(ivc, occupied_delta)
 
+    def recount_stage_sets(self) -> tuple[set[InputVC], set[InputVC], set[InputVC]]:
+        """Recompute the stage sets exhaustively from the buffers' states.
+
+        The incremental sets maintained by ``on_vc_state_change`` must
+        always equal this ground truth; the invariant sanitizer compares
+        them on its sampled deep checks.
+        """
+        routing: set[InputVC] = set()
+        waiting: set[InputVC] = set()
+        active: set[InputVC] = set()
+        for port_list in self.inputs:
+            for ivc in port_list:
+                if ivc._state is VCState.ROUTING:
+                    routing.add(ivc)
+                elif ivc._state is VCState.WAITING_VA:
+                    waiting.add(ivc)
+                elif ivc._state is VCState.ACTIVE:
+                    active.add(ivc)
+        return routing, waiting, active
+
     # -- pipeline stages ------------------------------------------------------
 
     def route_compute(self, cycle: int) -> None:

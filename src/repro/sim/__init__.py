@@ -1,7 +1,7 @@
 """Simulation core: configuration, cycle engine, deadlock watchdog, RNG."""
 
 from .config import LONG_PACKET_FLITS, SHORT_PACKET_FLITS, SimulationConfig
-from .deadlock import DeadlockError, Watchdog
+from .deadlock import DeadlockError, StarvationError, Watchdog
 from .engine import Simulator, Workload
 from .diagnostics import blocked_heads, format_blocked_heads
 from .rng import make_rng, spawn_rng
@@ -15,6 +15,7 @@ __all__ = [
     "Workload",
     "Watchdog",
     "DeadlockError",
+    "StarvationError",
     "make_rng",
     "spawn_rng",
     "blocked_heads",

@@ -53,6 +53,13 @@ class SimulationConfig:
     switching: Switching = Switching.WORMHOLE_ATOMIC
     #: Experiment seed; all randomness derives from it.
     seed: int = 1
+    #: Enable the runtime invariant sanitizer (repro.analysis.sanitizer).
+    #: ``REPRO_SANITIZE=1`` turns it on globally without touching configs;
+    #: when off, nothing is registered on the engine (zero cost).
+    sanitize: bool = False
+    #: Cycles between the sanitizer's exhaustive deep checks (conservation
+    #: laws still run every cycle).  ``REPRO_SANITIZE_INTERVAL`` overrides.
+    sanitize_interval: int = 64
 
     def __post_init__(self) -> None:
         if self.num_vcs < 1:
@@ -70,6 +77,8 @@ class SimulationConfig:
             raise ValueError("st_link_delay must be >= 1 (a hop takes time)")
         if self.credit_delay < 0:
             raise ValueError("credit_delay must be >= 0")
+        if self.sanitize_interval < 1:
+            raise ValueError("sanitize_interval must be >= 1 cycle")
         if self.switching is Switching.VCT and self.buffer_depth < self.max_packet_length:
             raise ValueError(
                 "VCT switching needs buffer_depth >= max_packet_length "

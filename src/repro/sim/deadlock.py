@@ -7,7 +7,8 @@ a test oracle for every integration test in the suite.
 Deadlock: flits are buffered inside the network but nothing has moved for
 ``deadlock_window`` consecutive cycles.  Starvation: some packet has been
 waiting at an injection point for more than ``starvation_window`` cycles
-while the network keeps moving.
+while the network keeps moving — the failure mode deadlock counters miss,
+because global progress hides one node's livelock.
 """
 
 from __future__ import annotations
@@ -15,14 +16,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..network.buffers import VCState
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.network import Network
 
-__all__ = ["DeadlockError", "Watchdog"]
+__all__ = ["DeadlockError", "StarvationError", "Watchdog"]
 
 
 class DeadlockError(RuntimeError):
     """Raised when the network provably stopped making progress."""
+
+
+class StarvationError(RuntimeError):
+    """Raised when a packet waits at injection beyond the starvation window
+    while the rest of the network keeps moving."""
 
 
 @dataclass
@@ -33,12 +41,30 @@ class Watchdog:
     deadlock_window: int = 1000
     starvation_window: int = 20000
     raise_on_deadlock: bool = True
+    #: Starvation is reported via ``starved`` by default; opt into raising
+    #: so long sweeps near saturation aren't killed by a single slow node.
+    raise_on_starvation: bool = False
     _idle_cycles: int = field(default=0, init=False)
     deadlock_detected_at: int | None = field(default=None, init=False)
     max_idle_streak: int = field(default=0, init=False)
+    starvation_detected_at: int | None = field(default=None, init=False)
+    #: ``(node, pid)`` of the first starved packet observed.
+    starved_packet: tuple[int, int] | None = field(default=None, init=False)
+    #: ``(node, pid) -> cycle first seen waiting`` for staged injections.
+    _waiting_since: dict[tuple[int, int], int] = field(
+        default_factory=dict, init=False
+    )
+    _next_starvation_scan: int = field(default=0, init=False)
+    _last_progress: tuple[int, int] = field(default=(-1, -1), init=False)
 
     def observe(self, cycle: int) -> None:
         net = self.network
+        # Starvation must be checked even on cycles where flits move —
+        # global progress is exactly what distinguishes it from deadlock.
+        # The scan itself is O(nodes x VCs), so it is sampled; between
+        # scans this is a single integer comparison.
+        if cycle >= self._next_starvation_scan:
+            self._scan_starvation(cycle)
         if net.flits_moved_this_cycle > 0:
             self._idle_cycles = 0
             return
@@ -58,6 +84,48 @@ class Watchdog:
                     f"({net.flow_control.name} flow control)"
                 )
 
+    def _scan_starvation(self, cycle: int) -> None:
+        """Sampled scan of staged injections that cannot win a VC grant."""
+        net = self.network
+        self._next_starvation_scan = cycle + max(1, self.starvation_window // 16)
+        progress = (net.act_xbar_traversals, net.packets_ejected)
+        network_moving = progress != self._last_progress
+        self._last_progress = progress
+        if net.backlog_packets == 0:
+            if self._waiting_since:
+                self._waiting_since.clear()
+            return
+        waiting: dict[tuple[int, int], int] = {}
+        for nic in net.nics:
+            for slot in nic.source_vcs:
+                owner = slot._owner
+                # Staged but not yet ACTIVE: the packet keeps losing VC
+                # allocation (WBFC denial, dateline class full, ...).
+                if owner is not None and slot._state is not VCState.ACTIVE:
+                    key = (nic.node, owner.pid)
+                    waiting[key] = self._waiting_since.get(key, cycle)
+        self._waiting_since = waiting
+        if not network_moving:
+            # Nothing moved since the last scan: that is (incipient)
+            # deadlock, which the idle-streak counter attributes correctly.
+            return
+        for (node, pid), since in waiting.items():
+            if cycle - since >= self.starvation_window:
+                if self.starvation_detected_at is None:
+                    self.starvation_detected_at = cycle
+                    self.starved_packet = (node, pid)
+                if self.raise_on_starvation:
+                    raise StarvationError(
+                        f"packet {pid} has waited at node {node}'s injection "
+                        f"for {cycle - since} cycles (window "
+                        f"{self.starvation_window}) while the network kept "
+                        f"moving ({net.flow_control.name} flow control)"
+                    )
+
     @property
     def deadlocked(self) -> bool:
         return self.deadlock_detected_at is not None
+
+    @property
+    def starved(self) -> bool:
+        return self.starvation_detected_at is not None

@@ -8,6 +8,7 @@ simulations through this one loop.
 
 from __future__ import annotations
 
+import os
 from typing import TYPE_CHECKING, Callable, Protocol
 
 from .deadlock import Watchdog
@@ -42,6 +43,18 @@ class Simulator:
         self.cycle = 0
         #: Called as ``fn(cycle)`` after each cycle (metrics hooks).
         self.cycle_listeners: list[Callable[[int], None]] = []
+        #: Opt-in invariant auditor (``SimConfig.sanitize`` or
+        #: ``REPRO_SANITIZE=1``); ``None`` — and zero per-cycle cost —
+        #: when disabled, since nothing joins ``cycle_listeners`` and the
+        #: analysis package is never even imported.
+        self.sanitizer = None
+        if network.config.sanitize or os.environ.get(
+            "REPRO_SANITIZE", ""
+        ) not in ("", "0"):
+            from ..analysis.sanitizer import InvariantSanitizer
+
+            self.sanitizer = InvariantSanitizer(network)
+            self.cycle_listeners.append(self.sanitizer.on_cycle)
 
     def run(self, cycles: int) -> int:
         """Advance the simulation by ``cycles``; returns the current cycle."""

@@ -1,0 +1,93 @@
+"""Determinism lint: rule units on snippets, and a clean source tree."""
+
+import os
+
+from repro.analysis.lint import lint_paths, lint_source
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src", "repro")
+
+
+def rules(source, rel="repro/some/module.py"):
+    return [f.rule for f in lint_source(source, rel, rel)]
+
+
+class TestRandomRule:
+    def test_import_random_flagged(self):
+        assert rules("import random\n") == ["direct-random"]
+        assert rules("from random import shuffle\n") == ["direct-random"]
+
+    def test_np_random_call_flagged(self):
+        src = "import numpy as np\nx = np.random.default_rng(3)\n"
+        assert rules(src) == ["direct-random"]
+
+    def test_np_random_annotation_not_flagged(self):
+        """Type annotations mention np.random.Generator everywhere; only
+        *calls* conjure entropy."""
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> None:\n"
+            "    rng.random()\n"
+        )
+        assert rules(src) == []
+
+    def test_rng_module_is_allowlisted(self):
+        src = "import numpy as np\ng = np.random.default_rng(1)\n"
+        assert rules(src, rel="repro/sim/rng.py") == []
+
+
+class TestTimeRule:
+    def test_import_time_flagged(self):
+        assert rules("import time\n") == ["direct-time"]
+        assert rules("import time\nt = time.monotonic()\n") == [
+            "direct-time",
+            "direct-time",
+        ]
+
+    def test_experiments_cli_allowlisted(self):
+        src = "import time\nt0 = time.perf_counter()\n"
+        assert rules(src, rel="repro/experiments/__main__.py") == []
+
+
+class TestSetIterationRule:
+    KERNEL = "repro/network/router.py"
+
+    def test_bare_set_attr_iteration_flagged_in_kernel(self):
+        src = "def f(self):\n    for ivc in self._active_vcs:\n        pass\n"
+        assert rules(src, rel=self.KERNEL) == ["set-iteration"]
+
+    def test_sorted_wrapping_is_fine(self):
+        src = "def f(self):\n    for ivc in sorted(self._active_vcs):\n        pass\n"
+        assert rules(src, rel=self.KERNEL) == []
+
+    def test_set_literal_and_call_flagged(self):
+        assert rules("for x in {1, 2}:\n    pass\n", rel=self.KERNEL) == [
+            "set-iteration"
+        ]
+        assert rules("for x in set(y):\n    pass\n", rel=self.KERNEL) == [
+            "set-iteration"
+        ]
+
+    def test_comprehension_over_set_flagged(self):
+        src = "vals = [x for x in self._routing_vcs]\n"
+        assert rules(src, rel=self.KERNEL) == ["set-iteration"]
+
+    def test_non_kernel_modules_not_flagged(self):
+        src = "for x in self._active_vcs:\n    pass\n"
+        assert rules(src, rel="repro/metrics/report.py") == []
+
+
+class TestMutableDefaultRule:
+    def test_list_default_flagged(self):
+        assert rules("def f(x=[]):\n    pass\n") == ["mutable-default"]
+        assert rules("def f(*, x={}):\n    pass\n") == ["mutable-default"]
+        assert rules("def f(x=dict()):\n    pass\n") == ["mutable-default"]
+
+    def test_none_default_fine(self):
+        assert rules("def f(x=None, y=3, z=()):\n    pass\n") == []
+
+
+class TestWholeTree:
+    def test_src_repro_is_lint_clean(self):
+        """CI gate: the shipped simulator contains zero determinism lints."""
+        findings = lint_paths([REPO_SRC])
+        assert findings == [], "\n".join(str(f) for f in findings)

@@ -1,0 +1,68 @@
+"""Sanitizer flag propagation into parallel sweep workers.
+
+``REPRO_SANITIZE=1`` must reach every pool worker — under ``spawn`` start
+methods a fresh interpreter sees none of the parent's ad-hoc environment,
+so :mod:`repro.metrics.parallel` forwards the sanitizer knobs through the
+executor initializer.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+from repro.metrics.parallel import _FORWARDED_ENV, _init_worker, run_points
+from repro.metrics.sweep import run_point
+from repro.topology.torus import Torus
+
+POINT_KW = dict(warmup=200, measure=600, seed=7)
+
+
+def _read_env(key):
+    # Module-level so it pickles by reference into pool workers.
+    return os.environ.get(key)
+
+
+class TestInitializerForwarding:
+    def test_initializer_sets_vars_the_child_lacks(self):
+        """Even a child whose environment lacks the flag (spawn) sees it."""
+        with ProcessPoolExecutor(
+            max_workers=1,
+            initializer=_init_worker,
+            initargs=({"REPRO_SANITIZE": "1"},),
+        ) as pool:
+            assert pool.submit(_read_env, "REPRO_SANITIZE").result() == "1"
+
+    def test_initializer_clears_vars_the_parent_unset(self, monkeypatch):
+        """A stale flag inherited via fork is scrubbed when the parent's
+        snapshot does not carry it."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        with ProcessPoolExecutor(
+            max_workers=1, initializer=_init_worker, initargs=({},)
+        ) as pool:
+            assert pool.submit(_read_env, "REPRO_SANITIZE").result() is None
+
+    def test_forwarded_set_covers_sanitizer_knobs(self):
+        assert "REPRO_SANITIZE" in _FORWARDED_ENV
+        assert "REPRO_SANITIZE_INTERVAL" in _FORWARDED_ENV
+
+
+class TestSanitizedSweep:
+    def test_sanitized_parallel_equals_unsanitized_serial(self, monkeypatch):
+        """The sanitizer audits without perturbing: a sweep under
+        ``REPRO_SANITIZE=1`` across real pool workers must be bit-identical
+        to the plain serial run — and must not trip on healthy designs."""
+        factory = partial(Torus, (4, 4))
+        rates = [0.1, 0.15]
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        serial = [
+            run_point("WBFC-1VC", factory, "UR", rate, **POINT_KW)
+            for rate in rates
+        ]
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.setenv("REPRO_SANITIZE_INTERVAL", "32")
+        # Two tasks, two workers: the pool path (and its initializer) runs.
+        sanitized = run_points(
+            [(("WBFC-1VC", factory, "UR", rate), dict(POINT_KW)) for rate in rates],
+            workers=2,
+        )
+        assert sanitized == serial

@@ -1,0 +1,120 @@
+"""Watchdog starvation detection (regression: the window was documented
+but never checked — ``starvation_window`` had no code behind it)."""
+
+import pytest
+
+from repro.experiments.designs import build_network
+from repro.network.buffers import VCState
+from repro.sim.deadlock import StarvationError, Watchdog
+from repro.sim.engine import Simulator
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+
+class _Slot:
+    def __init__(self, owner=None, state=VCState.IDLE):
+        self._owner = owner
+        self._state = state
+
+
+class _Nic:
+    def __init__(self, node, slots):
+        self.node = node
+        self.source_vcs = slots
+
+
+class _Packet:
+    def __init__(self, pid):
+        self.pid = pid
+
+
+class _FakeFc:
+    name = "fake"
+
+
+class _FakeNet:
+    """Just the attributes Watchdog reads, scriptable per cycle."""
+
+    def __init__(self, nics):
+        self.nics = nics
+        self.flits_moved_this_cycle = 1
+        self.buffered_flits = 1
+        self.backlog_packets = 1
+        self.act_xbar_traversals = 0
+        self.packets_ejected = 0
+        self.flow_control = _FakeFc()
+
+
+def _run(watchdog, net, cycles, moving=True):
+    for cycle in range(cycles):
+        if moving:
+            net.act_xbar_traversals += 1  # global progress continues
+        watchdog.observe(cycle)
+
+
+class TestStarvationDetection:
+    def test_stuck_injection_flags_starvation(self):
+        packet = _Packet(7)
+        net = _FakeNet([_Nic(0, [_Slot(packet, VCState.WAITING_VA)])])
+        wd = Watchdog(net, starvation_window=100)
+        _run(wd, net, 300)
+        assert wd.starved
+        assert wd.starved_packet == (0, 7)
+        assert wd.starvation_detected_at is not None
+
+    def test_raise_on_starvation_opt_in(self):
+        packet = _Packet(3)
+        net = _FakeNet([_Nic(0, [_Slot(packet, VCState.WAITING_VA)])])
+        wd = Watchdog(net, starvation_window=100, raise_on_starvation=True)
+        with pytest.raises(StarvationError, match="packet 3"):
+            _run(wd, net, 300)
+
+    def test_not_starved_when_network_is_not_moving(self):
+        """No global progress means deadlock territory, not starvation:
+        the idle-streak counter must attribute it, not the starvation scan."""
+        packet = _Packet(1)
+        net = _FakeNet([_Nic(0, [_Slot(packet, VCState.WAITING_VA)])])
+        net.flits_moved_this_cycle = 0
+        wd = Watchdog(
+            net, starvation_window=100, deadlock_window=10**9,
+            raise_on_starvation=True,
+        )
+        _run(wd, net, 300, moving=False)
+        assert not wd.starved
+
+    def test_granted_packet_resets_its_clock(self):
+        slot = _Slot(_Packet(5), VCState.WAITING_VA)
+        net = _FakeNet([_Nic(0, [slot])])
+        wd = Watchdog(net, starvation_window=100, raise_on_starvation=True)
+        _run(wd, net, 90)
+        slot._state = VCState.ACTIVE  # granted before the window elapsed
+        _run(wd, net, 300)
+        assert not wd.starved
+
+    def test_empty_backlog_clears_tracking(self):
+        slot = _Slot(_Packet(2), VCState.WAITING_VA)
+        net = _FakeNet([_Nic(0, [slot])])
+        wd = Watchdog(net, starvation_window=100)
+        _run(wd, net, 90)
+        net.backlog_packets = 0
+        wd.observe(90)  # may or may not scan; force one scan cycle
+        _run(wd, net, 20)
+        assert wd._waiting_since == {}
+
+    def test_scan_is_sampled_not_per_cycle(self):
+        net = _FakeNet([_Nic(0, [_Slot()])])
+        wd = Watchdog(net, starvation_window=16_000)
+        _run(wd, net, 10)
+        # window//16 = 1000: after 10 cycles only the cycle-0 scan ran.
+        assert wd._next_starvation_scan == 1000
+
+
+class TestLiveSimulation:
+    def test_healthy_wbfc_run_never_flags(self):
+        net = build_network("WBFC-1VC", Torus((4, 4)))
+        wl = SyntheticTraffic(make_pattern("UR", net.topology), 0.2, seed=2)
+        wd = Watchdog(net, starvation_window=2_000, raise_on_starvation=True)
+        Simulator(net, wl, watchdog=wd).run(4_000)
+        assert not wd.starved
+        assert net.packets_ejected > 0
