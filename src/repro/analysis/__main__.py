@@ -17,39 +17,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from ..topology.base import Topology
-
-
-def _parse_topology(spec: str) -> Topology:
-    """Parse ``torus:4x4`` / ``mesh:8x8`` / ``ring:8`` / ``hring:4x4``."""
-    kind, sep, dims = spec.partition(":")
-    if not sep:
-        raise ValueError(f"topology spec '{spec}' needs a ':', e.g. torus:4x4")
-    radices = tuple(int(r) for r in dims.split("x"))
-    if kind == "torus":
-        from ..topology.torus import Torus
-
-        return Torus(radices)
-    if kind == "mesh":
-        from ..topology.mesh import Mesh
-
-        return Mesh(radices)
-    if kind == "ring":
-        from ..topology.ring import UnidirectionalRing
-
-        if len(radices) != 1:
-            raise ValueError("ring takes a single size, e.g. ring:8")
-        return UnidirectionalRing(radices[0])
-    if kind == "hring":
-        from ..topology.hierarchical_ring import HierarchicalRing
-
-        if len(radices) != 2:
-            raise ValueError("hring takes rings x size, e.g. hring:4x4")
-        return HierarchicalRing(radices[0], radices[1])
-    raise ValueError(f"unknown topology kind '{kind}'")
-
 
 def _cmd_certify(args: argparse.Namespace) -> int:
+    from ..registry import parse_topology
     from ..sim.config import SimulationConfig
     from .certify import certify
 
@@ -57,7 +27,7 @@ def _cmd_certify(args: argparse.Namespace) -> int:
         buffer_depth=args.buffer_depth,
         max_packet_length=args.max_packet_length,
     )
-    cert = certify(args.design, _parse_topology(args.topology), config)
+    cert = certify(args.design, parse_topology(args.topology), config)
     print(cert.report())
     if args.expect_reject:
         if cert.ok:

@@ -143,26 +143,31 @@ def certify_network(network: Network) -> Certificate:
 
 
 def certify(
-    design: str,
-    topology: Topology,
+    design: object,
+    topology: Topology | str,
     config: SimulationConfig | None = None,
 ) -> Certificate:
     """Build ``design`` on ``topology`` and certify it.
 
+    ``design`` is a registry name or a ``Design`` instance; ``topology``
+    may be a built object or a spec string (``"torus:4x4"``).
     Configurations the schemes themselves refuse (``validate()`` raising
     ``ValueError`` — wrong VC count, buffers too shallow for the bubble)
     are reported as rejections rather than propagated: a config that
     cannot be built safely is not deadlock-free.
     """
     from ..experiments.designs import build_network
+    from ..registry import parse_topology
 
+    scheme = design if isinstance(design, str) else getattr(design, "name", str(design))
     try:
+        topology = parse_topology(topology)
         network = build_network(design, topology, config)
     except (ValueError, TypeError, NotImplementedError) as exc:
         return Certificate(
             ok=False,
-            scheme=design,
-            topology=type(topology).__name__,
+            scheme=scheme,
+            topology=type(topology).__name__ if not isinstance(topology, str) else topology,
             num_channels=0,
             num_edges=0,
             reasons=(f"configuration rejected by validation: {exc}",),

@@ -27,12 +27,14 @@ from ..flowcontrol.base import FlowControl
 from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Flit, Packet
 from ..network.switching import Switching
+from ..registry import FLOW_CONTROLS
 from .colors import WBColor
 from .state import RingContext
 
 __all__ = ["FlitLevelWBFC"]
 
 
+@FLOW_CONTROLS.register("wbfc-flit")
 class FlitLevelWBFC(FlowControl):
     """Worm-bubble flow control with flit-sized worm-bubbles."""
 
@@ -248,6 +250,43 @@ class FlitLevelWBFC(FlowControl):
                 self.gray_slots[ivc] += 1
                 ctx.holds_gray = False
             self._packet_ctx.pop((flit.packet.pid, ivc.ring_id), None)
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        # Slot-color counters are keyed by InputVC; encode them as per-ring
+        # lists aligned with ring_buffers order so a structural twin can
+        # re-key them onto its own buffer objects.
+        return {
+            "black_slots": {
+                ring_id: [self.black_slots[ivc] for ivc in buffers]
+                for ring_id, buffers in self.ring_buffers.items()
+            },
+            "gray_slots": {
+                ring_id: [self.gray_slots[ivc] for ivc in buffers]
+                for ring_id, buffers in self.ring_buffers.items()
+            },
+            "ci": dict(self.ci),
+            "last_request": dict(self._last_request),
+            "marker_owner": dict(self.marker_owner),
+            "owned_keys": dict(self._owned_keys),
+            "packet_ctx": dict(self._packet_ctx),
+            "stats": dict(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for ring_id, buffers in self.ring_buffers.items():
+            for ivc, black in zip(buffers, state["black_slots"][ring_id]):
+                self.black_slots[ivc] = black
+            for ivc, gray in zip(buffers, state["gray_slots"][ring_id]):
+                self.gray_slots[ivc] = gray
+        self.ci = dict(state["ci"])
+        self._last_request = dict(state["last_request"])
+        self.marker_owner = dict(state["marker_owner"])
+        self._owned_keys = dict(state["owned_keys"])
+        self._packet_ctx = dict(state["packet_ctx"])
+        self.stats.clear()
+        self.stats.update(state["stats"])
 
     # -- proactive maintenance ---------------------------------------------------------
 

@@ -81,6 +81,7 @@ import math
 from ..flowcontrol.base import FlowControl
 from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Packet
+from ..registry import FLOW_CONTROLS
 from .colors import WBColor
 from .state import RingContext
 
@@ -251,6 +252,7 @@ class RingTokenLane:
                 b._color = c
 
 
+@FLOW_CONTROLS.register("wbfc")
 class WormBubbleFlowControl(FlowControl):
     """Worm-bubble flow control over every ring of the attached topology."""
 
@@ -351,6 +353,45 @@ class WormBubbleFlowControl(FlowControl):
                 self.ci[(hop.node, ring_id)] = 0
                 self._downstream_of[(hop.node, ring_id)] = buffers[(pos + 1) % k]
         self._ci_order = {key: rank for rank, key in enumerate(self.ci)}
+
+    # -- checkpoint/restore -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Token ledgers and counters; lane rotations are materialized
+        first so the captured colors and stats are exact."""
+        for lane in self._lane_list:
+            if lane.pending:
+                lane.materialize()
+        return {
+            # Plain dict: preserves the CI map's insertion order (which
+            # _ci_order mirrors) without dragging _CounterDict's derived
+            # nonzero index through the deep copy.
+            "ci": dict(self.ci),
+            "last_request": dict(self._last_request),
+            "marker_owner": dict(self.marker_owner),
+            "owned_keys": dict(self._owned_keys),
+            "stats": dict(self._stats_dict),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.ci = _CounterDict(state["ci"])
+        self._last_request = dict(state["last_request"])
+        self.marker_owner = dict(state["marker_owner"])
+        self._owned_keys = dict(state["owned_keys"])
+        # The lanes alias _stats_dict; update in place so they keep seeing it.
+        self._stats_dict.clear()
+        self._stats_dict.update(state["stats"])
+        # Colors were restored directly into the buffers (lanes were flushed
+        # at capture, so no rotation is owed); recount the occupancy each
+        # lane derives from its buffers and drop all memo bookmarks.
+        for lane in self._lane_list:
+            lane.pending = 0
+            lane.dirty = True
+            lane.traj_entry = None
+            lane.traj_pos = 0
+            lane.occupied = sum(
+                1 for b in lane.buffers if b.flits or b._owner is not None
+            )
 
     # -- static certification ---------------------------------------------------
 

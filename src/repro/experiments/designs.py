@@ -18,29 +18,33 @@ the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Mapping
 
-from ..core.wbfc import WormBubbleFlowControl
-from ..flowcontrol.base import FlowControl
-from ..flowcontrol.dateline import DatelineFlowControl
-from ..flowcontrol.unrestricted import UnrestrictedFlowControl
 from ..network.network import Network
-from ..routing.dor import DimensionOrderRouting
-from ..routing.duato import DuatoAdaptiveRouting
+from ..registry import FLOW_CONTROLS, ROUTINGS, parse_topology
 from ..sim.config import SimulationConfig
 from ..topology.base import Topology
 
-__all__ = ["Design", "DESIGNS", "PAPER_DESIGNS", "build_network"]
+__all__ = ["Design", "DESIGNS", "PAPER_DESIGNS", "build_network", "resolve_design"]
 
 
 @dataclass(frozen=True)
 class Design:
-    """A named (VC count, flow control, routing) configuration."""
+    """A named (VC count, flow control, routing) configuration.
+
+    ``flow_control`` and ``routing`` are registry names
+    (:data:`repro.registry.FLOW_CONTROLS` / :data:`~repro.registry.ROUTINGS`);
+    ``routing=None`` picks the topology's default — its ``adaptive_routing``
+    when ``adaptive``, else its ``default_routing`` — so the same design runs
+    unchanged on tori, meshes, and rings.
+    """
 
     name: str
     num_vcs: int
     num_escape_vcs: int
-    flow_control: str  # "wbfc" | "dateline" | "unrestricted"
+    flow_control: str  # FLOW_CONTROLS registry name
     adaptive: bool
+    routing: str | None = None
 
     @property
     def num_adaptive_vcs(self) -> int:
@@ -55,6 +59,9 @@ DESIGNS: dict[str, Design] = {
     "WBFC-3VC": Design("WBFC-3VC", 3, 1, "wbfc", True),
     # Negative control: no in-ring deadlock avoidance at all.
     "UNRESTRICTED-1VC": Design("UNRESTRICTED-1VC", 1, 1, "unrestricted", False),
+    # Section-6 extension designs (see experiments/extensions.py).
+    "CBS-1VC": Design("CBS-1VC", 1, 1, "cbs", False),
+    "WBFC-FLIT-1VC": Design("WBFC-FLIT-1VC", 1, 1, "wbfc-flit", False),
 }
 
 #: The five designs every paper figure compares, in the paper's order.
@@ -66,29 +73,41 @@ PAPER_DESIGNS: tuple[str, ...] = (
     "WBFC-3VC",
 )
 
-_FLOW_CONTROLS: dict[str, type[FlowControl]] = {
-    "wbfc": WormBubbleFlowControl,
-    "dateline": DatelineFlowControl,
-    "unrestricted": UnrestrictedFlowControl,
-}
+
+def resolve_design(design: Design | str) -> Design:
+    """Look up a design by name; pass existing instances through."""
+    if isinstance(design, str):
+        try:
+            return DESIGNS[design]
+        except KeyError:
+            raise ValueError(
+                f"unknown design {design!r}; choose from {sorted(DESIGNS)}"
+            ) from None
+    return design
 
 
 def build_network(
     design: Design | str,
-    topology: Topology,
+    topology: Topology | str,
     config: SimulationConfig | None = None,
+    *,
+    fc_params: Mapping[str, object] | None = None,
 ) -> Network:
     """Assemble a network for ``design``; ``config`` supplies shared knobs.
 
     The design's VC structure overrides whatever ``config`` carries, so a
     single base configuration (buffer depth, seed, ...) can be reused across
-    all five designs.
+    all five designs.  ``topology`` may be a built object or a spec string
+    (``"torus:8x8"``); ``fc_params`` are scheme constructor keywords
+    (e.g. WBFC's ``reclaim_patience``).
     """
-    if isinstance(design, str):
-        design = DESIGNS[design]
+    design = resolve_design(design)
+    topology = parse_topology(topology)
     base = config if config is not None else SimulationConfig()
     cfg = replace(base, num_vcs=design.num_vcs, num_escape_vcs=design.num_escape_vcs)
-    routing_cls = DuatoAdaptiveRouting if design.adaptive else DimensionOrderRouting
-    routing = routing_cls(topology)  # type: ignore[arg-type]
-    flow_control = _FLOW_CONTROLS[design.flow_control]()
+    routing_name = design.routing or (
+        topology.adaptive_routing if design.adaptive else topology.default_routing
+    )
+    routing = ROUTINGS.create(routing_name, topology)
+    flow_control = FLOW_CONTROLS.create(design.flow_control, **(fc_params or {}))
     return Network(topology, routing, flow_control, cfg)

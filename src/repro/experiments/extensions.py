@@ -15,22 +15,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.flit_level import FlitLevelWBFC
-from ..core.wbfc import WormBubbleFlowControl
-from ..flowcontrol.cbs import CriticalBubbleScheme
-from ..metrics.stats import MetricsCollector
 from ..network.network import Network
 from ..network.switching import Switching
-from ..routing.dor import DimensionOrderRouting
-from ..routing.ring_routing import HierarchicalRingRouting, RingRouting
 from ..sim.config import SimulationConfig
 from ..sim.deadlock import Watchdog
 from ..sim.engine import Simulator
-from ..topology.hierarchical_ring import HierarchicalRing
-from ..topology.ring import UnidirectionalRing
-from ..topology.torus import Torus
-from ..traffic.generator import SyntheticTraffic
-from ..traffic.patterns import UniformRandom
+from ..sim.spec import ScenarioSpec, prepare
 from .runner import Scale, current_scale, format_table
 
 __all__ = ["ExtensionResult", "run_extensions", "render_extensions"]
@@ -47,17 +37,21 @@ class ExtensionResult:
     deadlock_free: bool
 
 
-def _measure(network: Network, rate: float, scale: Scale, seed: int) -> tuple[float, float, int, bool]:
-    workload = SyntheticTraffic(UniformRandom(network.topology), rate, seed=seed)
-    collector = MetricsCollector(network)
-    watchdog = Watchdog(network, deadlock_window=10_000, raise_on_deadlock=False)
-    simulator = Simulator(network, workload, watchdog=watchdog)
-    simulator.run(scale.warmup)
+def _tolerant_watchdog(network: Network) -> Watchdog:
+    # These runs *ask* whether the scheme deadlocks, so the watchdog
+    # reports instead of raising.
+    return Watchdog(network, deadlock_window=10_000, raise_on_deadlock=False)
+
+
+def _measure(spec: ScenarioSpec) -> tuple[float, float, int, bool]:
+    prepared = prepare(spec, watchdog=_tolerant_watchdog)
+    simulator, collector = prepared.simulator, prepared.collector
+    simulator.run(spec.warmup)
     collector.begin(simulator.cycle)
-    simulator.run(scale.measure)
+    simulator.run(spec.measure)
     collector.end(simulator.cycle)
     s = collector.summary()
-    return s.avg_latency, s.throughput, s.packets, not watchdog.deadlocked
+    return s.avg_latency, s.throughput, s.packets, not simulator.watchdog.deadlocked
 
 
 def _measure_bridged(
@@ -99,25 +93,26 @@ def run_extensions(
     scale = scale or current_scale()
     results = []
 
-    ring = UnidirectionalRing(8)
-    net = Network(
-        ring,
-        RingRouting(ring),
-        WormBubbleFlowControl(),
-        SimulationConfig(num_vcs=1),
-    )
-    lat, thr, pkts, ok = _measure(net, rate / 2, scale, seed)
+    def spec(design: str, topology: str, point_rate: float, **config_kwargs) -> ScenarioSpec:
+        return ScenarioSpec(
+            design=design,
+            topology=topology,
+            pattern="UR",
+            injection_rate=point_rate,
+            config=SimulationConfig(num_vcs=1, **config_kwargs),
+            seed=seed,
+            warmup=scale.warmup,
+            measure=scale.measure,
+        )
+
+    lat, thr, pkts, ok = _measure(spec("WBFC-1VC", "ring:8", rate / 2))
     results.append(
         ExtensionResult("WBFC ring", "8-node uni ring", "wormhole-atomic", lat, thr, pkts, ok)
     )
 
-    hier = HierarchicalRing(4, 4)
-    net = Network(
-        hier,
-        HierarchicalRingRouting(hier),
-        WormBubbleFlowControl(),
-        SimulationConfig(num_vcs=1),
-    )
+    from ..experiments.designs import build_network
+
+    net = build_network("WBFC-1VC", "hring:4x4", SimulationConfig(num_vcs=1))
     lat, thr, pkts, ok = _measure_bridged(net, rate / 4, scale, seed)
     results.append(
         ExtensionResult(
@@ -131,25 +126,28 @@ def run_extensions(
         )
     )
 
-    torus = Torus((4, 4))
-    net = Network(
-        torus,
-        DimensionOrderRouting(torus),
-        CriticalBubbleScheme(bubble_flits=1),
-        SimulationConfig(num_vcs=1, buffer_depth=8, switching=Switching.WORMHOLE_NONATOMIC),
+    lat, thr, pkts, ok = _measure(
+        spec(
+            "CBS-1VC",
+            "torus:4x4",
+            rate,
+            buffer_depth=8,
+            switching=Switching.WORMHOLE_NONATOMIC,
+        )
     )
-    lat, thr, pkts, ok = _measure(net, rate, scale, seed)
     results.append(
         ExtensionResult("CBS case (c)", "4x4 torus", "wormhole-nonatomic 8F", lat, thr, pkts, ok)
     )
 
-    net = Network(
-        torus := Torus((4, 4)),
-        DimensionOrderRouting(torus),
-        FlitLevelWBFC(),
-        SimulationConfig(num_vcs=1, buffer_depth=3, switching=Switching.WORMHOLE_NONATOMIC),
+    lat, thr, pkts, ok = _measure(
+        spec(
+            "WBFC-FLIT-1VC",
+            "torus:4x4",
+            rate / 2,
+            buffer_depth=3,
+            switching=Switching.WORMHOLE_NONATOMIC,
+        )
     )
-    lat, thr, pkts, ok = _measure(net, rate / 2, scale, seed)
     results.append(
         ExtensionResult(
             "WBFC case (d)", "4x4 torus", "wormhole-nonatomic 3F", lat, thr, pkts, ok

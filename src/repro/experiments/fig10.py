@@ -9,11 +9,9 @@ zero-load), which is where the paper's headline percentages come from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 
 from ..metrics.sweep import SweepResult, sweep
 from ..sim.config import SimulationConfig
-from ..topology.torus import Torus
 from .designs import PAPER_DESIGNS
 from .runner import Scale, current_scale, format_table
 
@@ -56,12 +54,13 @@ def latency_load_study(
     """Run the sweeps behind Figure 10 (radix=4) or Figure 11 (radix=8).
 
     Each sweep's load points fan out across processes (``workers``, or
-    ``REPRO_WORKERS``, or the CPU count); the topology factory is a
-    picklable ``partial`` so the points can cross process boundaries.
+    ``REPRO_WORKERS``, or the CPU count); the topology is a spec string,
+    so the points pickle across process boundaries and land in the
+    result store (``REPRO_RESULT_STORE``) under stable content hashes.
     """
     scale = scale or current_scale()
     max_rates = MAX_RATE_4X4 if radix <= 4 else MAX_RATE_8X8
-    topology_factory = partial(Torus, (radix, radix))
+    topology = f"torus:{radix}x{radix}"
     curves: dict[tuple[str, str], SweepResult] = {}
     for pattern in patterns:
         top = max_rates.get(pattern, 0.5)
@@ -71,7 +70,7 @@ def latency_load_study(
         for design in designs:
             curves[(pattern, design)] = sweep(
                 design,
-                topology_factory,
+                topology,
                 pattern,
                 rates,
                 config=config,

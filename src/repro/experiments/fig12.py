@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from ..metrics.injection import InjectionDelayReport, injection_delay_profile
 from ..sim.config import SimulationConfig
-from ..topology.torus import Torus
 from .designs import PAPER_DESIGNS
 from .runner import Scale, current_scale, format_table
 
@@ -34,7 +33,7 @@ def injection_delay_study(
             reports.append(
                 injection_delay_profile(
                     design,
-                    lambda: Torus((radix, radix)),
+                    f"torus:{radix}x{radix}",
                     "UR",
                     config=config,
                     warmup=scale.warmup,

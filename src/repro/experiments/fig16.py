@@ -15,7 +15,6 @@ from dataclasses import replace
 
 from ..metrics.sweep import SweepResult, sweep
 from ..sim.config import SimulationConfig
-from ..topology.torus import Torus
 from .runner import Scale, current_scale, format_table
 
 __all__ = ["buffer_size_study", "render_figure16"]
@@ -43,7 +42,7 @@ def buffer_size_study(
         for design in DESIGNS_16:
             curves[(design, depth)] = sweep(
                 design,
-                lambda: Torus((radix, radix)),
+                f"torus:{radix}x{radix}",
                 "UR",
                 rates,
                 config=config,

@@ -13,19 +13,10 @@ Two sweeps that quantify claims the paper makes in prose:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import partial
 
-from ..core.wbfc import WormBubbleFlowControl
-from ..metrics.stats import MetricsCollector
 from ..metrics.sweep import saturation_throughput
-from ..network.network import Network
-from ..routing.dor import DimensionOrderRouting
 from ..sim.config import SimulationConfig
-from ..sim.deadlock import Watchdog
-from ..sim.engine import Simulator
-from ..topology.torus import Torus
-from ..traffic.generator import SyntheticTraffic
-from ..traffic.patterns import UniformRandom
+from ..sim.spec import ScenarioSpec, execute
 from .runner import Scale, current_scale, format_table
 
 __all__ = [
@@ -58,13 +49,13 @@ def scalability_study(
     """WBFC-2VC vs DL-2VC saturation across torus sizes (UR traffic).
 
     The saturation search's load points run in parallel (``workers``,
-    ``REPRO_WORKERS``, or CPU count); the ``partial`` topology factory
-    keeps the fan-out picklable.
+    ``REPRO_WORKERS``, or CPU count); the topology spec string keeps the
+    fan-out picklable.
     """
     scale = scale or current_scale()
     points = []
     for radix in radices:
-        topology_factory = partial(Torus, (radix, radix))
+        topology = f"torus:{radix}x{radix}"
         kwargs = dict(
             warmup=scale.warmup,
             measure=scale.measure,
@@ -73,8 +64,8 @@ def scalability_study(
             seed=seed,
             workers=workers,
         )
-        wbfc2 = saturation_throughput("WBFC-2VC", topology_factory, "UR", **kwargs)
-        dl2 = saturation_throughput("DL-2VC", topology_factory, "UR", **kwargs)
+        wbfc2 = saturation_throughput("WBFC-2VC", topology, "UR", **kwargs)
+        dl2 = saturation_throughput("DL-2VC", topology, "UR", **kwargs)
         points.append(
             ScalabilityPoint(radix=radix, wbfc2_saturation=wbfc2, dl2_saturation=dl2)
         )
@@ -105,25 +96,26 @@ def reclaim_patience_study(
     scale: Scale | None = None,
     seed: int = 3,
 ) -> dict[int, float]:
-    """WBFC-1VC average latency on a 4x4 torus per reclaim patience."""
+    """WBFC-1VC average latency on a 4x4 torus per reclaim patience.
+
+    Each patience value is one declarative scenario: the knob rides in
+    ``fc_params``, so the points are content-hashed (and store-cached)
+    like any other measurement.
+    """
     scale = scale or current_scale()
     results: dict[int, float] = {}
     for patience in patiences:
-        topo = Torus((4, 4))
-        net = Network(
-            topo,
-            DimensionOrderRouting(topo),
-            WormBubbleFlowControl(reclaim_patience=patience),
-            SimulationConfig(num_vcs=1),
+        spec = ScenarioSpec(
+            design="WBFC-1VC",
+            topology="torus:4x4",
+            pattern="UR",
+            injection_rate=rate,
+            seed=seed,
+            warmup=scale.warmup,
+            measure=scale.measure,
+            fc_params=(("reclaim_patience", patience),),
         )
-        wl = SyntheticTraffic(UniformRandom(topo), rate, seed=seed)
-        mc = MetricsCollector(net)
-        sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=20_000))
-        sim.run(scale.warmup)
-        mc.begin(sim.cycle)
-        sim.run(scale.measure)
-        mc.end(sim.cycle)
-        results[patience] = mc.summary().avg_latency
+        results[patience] = execute(spec).avg_latency
     return results
 
 

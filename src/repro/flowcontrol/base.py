@@ -154,6 +154,23 @@ class FlowControl(ABC):
         occupancy counts (WBFC's work-proportional displacement) override it.
         """
 
+    # -- checkpoint/restore ----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Mutable token/ledger state as plain data (repro.sim.checkpoint).
+
+        The ring registries built by ``attach`` are structural and
+        excluded — a restore target rebuilds them identically at
+        construction.  Stateless schemes inherit this empty default.
+        """
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Adopt a snapshot taken by :meth:`snapshot_state`.
+
+        Called after every VC buffer has been restored, so overrides may
+        recount buffer-derived state (e.g. WBFC lane occupancy)."""
+
     # -- static certification ------------------------------------------------
 
     def certify_ring_exempt(self, ring_id: str) -> str | None:

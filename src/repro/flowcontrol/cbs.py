@@ -15,11 +15,13 @@ from __future__ import annotations
 from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Packet
 from ..network.switching import Switching
+from ..registry import FLOW_CONTROLS
 from .base import FlowControl
 
 __all__ = ["CriticalBubbleScheme"]
 
 
+@FLOW_CONTROLS.register("cbs")
 class CriticalBubbleScheme(FlowControl):
     """One critical bubble per ring, displaced backward, never injected into."""
 
@@ -60,6 +62,16 @@ class CriticalBubbleScheme(FlowControl):
     def initialize_state(self) -> None:
         for buffers in self.ring_buffers.values():
             buffers[0].critical = True
+
+    # -- checkpoint/restore ------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        # Per-buffer critical flags travel with the InputVC state.
+        return {"stats": dict(self.stats)}
+
+    def restore_state(self, state: dict) -> None:
+        self.stats.clear()
+        self.stats.update(state["stats"])
 
     # -- static certification ----------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Packet
+from ..registry import FLOW_CONTROLS
 from ..topology.ring import UnidirectionalRing
 from ..topology.torus import Torus, port_dim
 from .base import FlowControl
@@ -27,6 +28,7 @@ __all__ = ["DatelineFlowControl"]
 _LOW, _HIGH = 0, 1
 
 
+@FLOW_CONTROLS.register("dateline")
 class DatelineFlowControl(FlowControl):
     """Two-class dateline VC assignment with balanced class selection."""
 
@@ -37,6 +39,14 @@ class DatelineFlowControl(FlowControl):
         super().__init__()
         #: Balance toggle per injection channel for non-crossing packets.
         self._balance: dict[tuple[int, int], int] = {}
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {"balance": dict(self._balance)}
+
+    def restore_state(self, state: dict) -> None:
+        self._balance = dict(state["balance"])
 
     # -- ring geometry helpers ------------------------------------------------
 

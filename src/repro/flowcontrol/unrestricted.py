@@ -8,11 +8,13 @@ needed.  On ring-free topologies (meshes) it is perfectly safe.
 
 from __future__ import annotations
 
+from ..registry import FLOW_CONTROLS
 from .base import FlowControl
 
 __all__ = ["UnrestrictedFlowControl"]
 
 
+@FLOW_CONTROLS.register("unrestricted")
 class UnrestrictedFlowControl(FlowControl):
     """No deadlock avoidance: any free escape VC may be taken by anyone."""
 

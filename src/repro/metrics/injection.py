@@ -31,7 +31,7 @@ class InjectionDelayReport:
 
 def injection_delay_profile(
     design: Design | str,
-    topology_factory: Callable[[], Topology],
+    topology_factory: Topology | str | Callable[[], Topology],
     pattern_name: str = "UR",
     *,
     fractions: tuple[float, ...] = (0.1, 0.5, 0.9),

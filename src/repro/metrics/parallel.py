@@ -14,8 +14,8 @@ environment variable, else ``os.cpu_count()``.  With one worker (or one
 task) everything runs serially in-process, with no executor overhead.
 
 Picklability contract: every argument of a task must be picklable —
-in particular the ``topology_factory``.  Use ``functools.partial``
-(e.g. ``partial(Torus, (4, 4))``) rather than a lambda when fanning out.
+in particular the topology.  Use a spec string (``"torus:4x4"``) or a
+``functools.partial`` rather than a lambda when fanning out.
 """
 
 from __future__ import annotations
@@ -60,6 +60,7 @@ def _run_one(task: PointTask) -> Any:
 _FORWARDED_ENV = (
     "REPRO_SANITIZE",
     "REPRO_SANITIZE_INTERVAL",
+    "REPRO_RESULT_STORE",
 )
 
 

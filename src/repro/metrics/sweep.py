@@ -9,12 +9,14 @@ latency reaches three times the zero-load latency (Section 5.1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping
 
-from ..experiments.designs import Design, build_network
+from ..experiments.designs import DESIGNS, Design, build_network
+from ..registry import LENGTH_DISTRIBUTIONS, topology_spec
 from ..sim.config import SimulationConfig
 from ..sim.deadlock import Watchdog
 from ..sim.engine import Simulator
+from ..sim.spec import ScenarioSpec, execute
 from ..topology.base import Topology
 from ..traffic.generator import SyntheticTraffic
 from ..traffic.lengths import LengthDistribution
@@ -22,7 +24,14 @@ from ..traffic.patterns import make_pattern
 from .parallel import run_points
 from .stats import MeasurementSummary, MetricsCollector
 
-__all__ = ["SweepPoint", "SweepResult", "run_point", "sweep", "saturation_throughput"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "scenario_spec",
+    "run_point",
+    "sweep",
+    "saturation_throughput",
+]
 
 
 @dataclass(frozen=True)
@@ -68,9 +77,9 @@ class SweepResult:
         return self.points[-1].injection_rate
 
 
-def run_point(
+def scenario_spec(
     design: Design | str,
-    topology_factory: Callable[[], Topology],
+    topology: Topology | str,
     pattern_name: str,
     injection_rate: float,
     *,
@@ -80,10 +89,92 @@ def run_point(
     measure: int = 4_000,
     drain: int = 0,
     seed: int = 1,
+    fc_params: Mapping | None = None,
+) -> ScenarioSpec | None:
+    """The :class:`ScenarioSpec` equivalent of these arguments.
+
+    Returns ``None`` when the arguments name components a spec cannot
+    express by registry name — an ad-hoc ``Design`` not in ``DESIGNS``,
+    an unregistered topology class, a custom length distribution — in
+    which case callers fall back to direct in-process plumbing.
+    """
+    try:
+        if isinstance(design, str):
+            design_name = design
+        else:
+            design_name = design.name
+            if DESIGNS.get(design_name) != design:
+                return None
+        topo_spec = topology_spec(topology)
+        if lengths is None:
+            lengths_spec: tuple = ("bimodal",)
+        else:
+            lengths_spec = lengths.to_spec()
+            if lengths_spec[0] not in LENGTH_DISTRIBUTIONS:
+                return None
+        return ScenarioSpec(
+            design=design_name,
+            topology=topo_spec,
+            pattern=pattern_name,
+            injection_rate=injection_rate,
+            config=config if config is not None else SimulationConfig(),
+            lengths=lengths_spec,
+            seed=seed,
+            warmup=warmup,
+            measure=measure,
+            drain=drain,
+            fc_params=tuple((fc_params or {}).items()),
+        )
+    except (ValueError, AttributeError):
+        return None
+
+
+def run_point(
+    design: Design | str,
+    topology_factory: Topology | str | Callable[[], Topology],
+    pattern_name: str,
+    injection_rate: float,
+    *,
+    config: SimulationConfig | None = None,
+    lengths: LengthDistribution | None = None,
+    warmup: int = 1_000,
+    measure: int = 4_000,
+    drain: int = 0,
+    seed: int = 1,
+    fc_params: Mapping | None = None,
 ) -> MeasurementSummary:
-    """Simulate one load point and return its measurement summary."""
-    topology = topology_factory()
-    network = build_network(design, topology, config)
+    """Simulate one load point and return its measurement summary.
+
+    ``topology_factory`` may be a spec string (``"torus:8x8"``, the
+    preferred, picklable form), a built :class:`Topology`, or a legacy
+    zero-argument factory.  Whenever the arguments are expressible as a
+    :class:`ScenarioSpec` the point runs through :func:`repro.sim.spec.
+    execute` — one shared execution path, and with ``REPRO_RESULT_STORE``
+    set an already-computed point is answered from the store without
+    simulating a cycle.
+    """
+    if isinstance(topology_factory, (str, Topology)):
+        topology = topology_factory
+    else:
+        topology = topology_factory()
+    spec = scenario_spec(
+        design,
+        topology,
+        pattern_name,
+        injection_rate,
+        config=config,
+        lengths=lengths,
+        warmup=warmup,
+        measure=measure,
+        drain=drain,
+        seed=seed,
+        fc_params=fc_params,
+    )
+    if spec is not None:
+        return execute(spec)
+    # Ad-hoc components (unregistered design/topology/lengths): same
+    # warmup-measure-drain protocol, plumbed directly.
+    network = build_network(design, topology, config, fc_params=fc_params)
     pattern = make_pattern(pattern_name, topology)
     workload = SyntheticTraffic(pattern, injection_rate, lengths=lengths, seed=seed)
     collector = MetricsCollector(network)
@@ -95,14 +186,14 @@ def run_point(
     simulator.run(measure)
     collector.end(simulator.cycle)
     if drain:
-        workload.packet_probability = 0.0
+        workload.stop()
         simulator.drain(drain)
     return collector.summary()
 
 
 def sweep(
     design: Design | str,
-    topology_factory: Callable[[], Topology],
+    topology_factory: Topology | str | Callable[[], Topology],
     pattern_name: str,
     rates: list[float] | tuple[float, ...],
     *,
@@ -114,8 +205,10 @@ def sweep(
     Points are independent simulations, so they are fanned across
     processes (``workers``: explicit count, else ``REPRO_WORKERS``, else
     the CPU count) and collected in rate order — bit-identical to the
-    serial loop.  Parallel runs need picklable arguments: pass
-    ``functools.partial`` topology factories, not lambdas.
+    serial loop.  Parallel runs need picklable arguments: pass topology
+    spec strings like ``"torus:8x8"`` (or ``functools.partial``
+    factories), not lambdas.  With ``REPRO_RESULT_STORE`` set, completed
+    points are skipped on re-runs — an interrupted sweep resumes.
     """
     name = design if isinstance(design, str) else design.name
     tasks = [
@@ -131,7 +224,7 @@ def sweep(
 
 def saturation_throughput(
     design: Design | str,
-    topology_factory: Callable[[], Topology],
+    topology_factory: Topology | str | Callable[[], Topology],
     pattern_name: str,
     *,
     max_rate: float = 0.9,

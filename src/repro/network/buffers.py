@@ -217,6 +217,47 @@ class InputVC:
     def label(self) -> str:
         return f"n{self.node}/p{self.port}/v{self.vc}"
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Mutable per-run state as plain data (see repro.sim.checkpoint).
+
+        Reads the ``color`` property so any deferred lane rotation is
+        materialized before capture; flits, packets and ring contexts stay
+        live references — the snapshot layer deep-copies the whole tree
+        with one shared memo.
+        """
+        return {
+            "flits": list(self.flits),
+            "owner": self._owner,
+            "state": self._state,
+            "color": self.color,
+            "route_candidates": self.route_candidates,
+            "out_port": self.out_port,
+            "out_vc": self.out_vc,
+            "stage_ready": self.stage_ready,
+            "va_first_request": self.va_first_request,
+            "occupant_ctx": self.occupant_ctx,
+            "critical": self.critical,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Write the captured slots back directly, bypassing the property
+        setters: scheduler stage sets, occupancy counters and WBFC lane
+        bookkeeping are all recomputed wholesale after every buffer is in
+        place, so firing incremental hooks here would double-count."""
+        self.flits = deque(state["flits"])
+        self._owner = state["owner"]
+        self._state = state["state"]
+        self._color = state["color"]
+        self.route_candidates = tuple(state["route_candidates"])
+        self.out_port = state["out_port"]
+        self.out_vc = state["out_vc"]
+        self.stage_ready = state["stage_ready"]
+        self.va_first_request = state["va_first_request"]
+        self.occupant_ctx = state["occupant_ctx"]
+        self.critical = state["critical"]
+
 
 class OutputVC:
     """Upstream mirror of one downstream input VC (credit-based control)."""

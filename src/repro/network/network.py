@@ -270,6 +270,106 @@ class Network:
             "backlog": self.backlog_packets,
         }
 
+    # -- checkpoint/restore -------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Every mutable layer as a plain-data tree (repro.sim.checkpoint).
+
+        Structural objects are encoded positionally — an in-flight arrival
+        or credit names its endpoint by ``(node, port, vc)`` — so the tree
+        can be restored into a freshly built structural twin.  The flow
+        control is captured last: buffer snapshots flush deferred WBFC
+        lane rotations, and the scheme's stats must be read after that.
+        Derived indices (phase-router sets, pending-NIC set, per-router
+        stage sets, lane occupancy) are recomputed on restore, with the
+        invariant sanitizer's deep checks as the agreement oracle.
+        """
+        return {
+            "activity": dict(self._activity),
+            "hot_activity": (
+                self.act_buffer_reads,
+                self.act_buffer_writes,
+                self.act_xbar_traversals,
+                self.act_link_traversals,
+                self.act_va_grants,
+            ),
+            "flits_in_network": self.flits_in_network,
+            "flits_moved_this_cycle": self.flits_moved_this_cycle,
+            "packets_ejected": self.packets_ejected,
+            "buffered_flits": self.buffered_flits,
+            "backlog_packets": self.backlog_packets,
+            "routers": [router.snapshot_state() for router in self.routers],
+            "nics": [nic.snapshot_state() for nic in self.nics],
+            "arrivals": {
+                when: [((ivc.node, ivc.port, ivc.vc), flit) for ivc, flit in events]
+                for when, events in self._arrivals.items()
+                if events
+            },
+            "credits": {
+                when: [
+                    (
+                        (ovc.downstream.node, ovc.downstream.port, ovc.downstream.vc),
+                        is_tail,
+                    )
+                    for ovc, is_tail in events
+                ]
+                for when, events in self._credits.items()
+                if events
+            },
+            "ejections": {
+                when: list(events)
+                for when, events in self._ejections.items()
+                if events
+            },
+            "flow_control": self.flow_control.snapshot_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._activity = defaultdict(int)
+        self._activity.update(state["activity"])
+        (
+            self.act_buffer_reads,
+            self.act_buffer_writes,
+            self.act_xbar_traversals,
+            self.act_link_traversals,
+            self.act_va_grants,
+        ) = state["hot_activity"]
+        self.flits_in_network = state["flits_in_network"]
+        self.flits_moved_this_cycle = state["flits_moved_this_cycle"]
+        self.packets_ejected = state["packets_ejected"]
+        self.buffered_flits = state["buffered_flits"]
+        self.backlog_packets = state["backlog_packets"]
+        for router, router_state in zip(self.routers, state["routers"]):
+            router.restore_state(router_state)
+        for nic, nic_state in zip(self.nics, state["nics"]):
+            nic.restore_state(nic_state)
+        self._arrivals = defaultdict(list)
+        for when, events in state["arrivals"].items():
+            self._arrivals[when] = [
+                (self.input_vc(*addr), flit) for addr, flit in events
+            ]
+        self._credits = defaultdict(list)
+        for when, events in state["credits"].items():
+            self._credits[when] = [
+                (self.input_vc(*addr).feeder, is_tail) for addr, is_tail in events
+            ]
+        self._ejections = defaultdict(list)
+        for when, events in state["ejections"].items():
+            self._ejections[when] = list(events)
+        # After the buffers: the scheme recounts lane occupancy from them.
+        self.flow_control.restore_state(state["flow_control"])
+        # Rebuild the derived active-set indices from restored ground truth.
+        rc, va, sa = set(), set(), set()
+        for router in self.routers:
+            if router._routing_vcs:
+                rc.add(router.node)
+            if router._waiting_va_vcs:
+                va.add(router.node)
+            if router._active_vcs:
+                sa.add(router.node)
+        self.phase_routers = (rc, va, sa)
+        self._pending_nic_nodes = {nic.node for nic in self.nics if nic.queue}
+
     def recount_occupancy(self) -> dict[str, int]:
         """Recompute ``occupancy_snapshot`` exhaustively from the buffers."""
         buffered = sum(

@@ -76,3 +76,17 @@ class NIC:
         """Packets waiting at this node (staged packets included)."""
         staged = sum(1 for slot in self.source_vcs if slot.owner is not None)
         return len(self.queue) + staged
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "queue": list(self.queue),
+            "packets_offered": self.packets_offered,
+            "packets_dropped": self.packets_dropped,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.queue = deque(state["queue"])
+        self.packets_offered = state["packets_offered"]
+        self.packets_dropped = state["packets_dropped"]

@@ -191,6 +191,49 @@ class Router:
                     active.add(ivc)
         return routing, waiting, active
 
+    # -- checkpoint/restore -----------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Buffers, credit mirrors and arbiter pointers; stage sets are
+        derived state and recomputed on restore."""
+        return {
+            "inputs": [
+                [ivc.snapshot_state() for ivc in port_list]
+                for port_list in self.inputs
+            ],
+            "outputs": [
+                None
+                if mirrors is None
+                else [(ovc.credits, ovc.allocated_to) for ovc in mirrors]
+                for mirrors in self.outputs
+            ],
+            "va_ptr": self._va_arbiter._ptr,
+            "sa_in_ptrs": [a._ptr for a in self._sa_input_arbiters],
+            "sa_out_ptrs": [a._ptr for a in self._sa_output_arbiters],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for port_list, port_state in zip(self.inputs, state["inputs"]):
+            for ivc, ivc_state in zip(port_list, port_state):
+                ivc.restore_state(ivc_state)
+        for mirrors, mirrors_state in zip(self.outputs, state["outputs"]):
+            if mirrors is None:
+                continue
+            for ovc, (credits, allocated_to) in zip(mirrors, mirrors_state):
+                ovc.credits = credits
+                ovc.allocated_to = allocated_to
+        self._va_arbiter._ptr = state["va_ptr"]
+        for arb, ptr in zip(self._sa_input_arbiters, state["sa_in_ptrs"]):
+            arb._ptr = ptr
+        for arb, ptr in zip(self._sa_output_arbiters, state["sa_out_ptrs"]):
+            arb._ptr = ptr
+        self._routing_vcs, self._waiting_va_vcs, self._active_vcs = (
+            self.recount_stage_sets()
+        )
+        self._sorted_routing = None
+        self._sorted_waiting = None
+        self._sorted_active = None
+
     # -- pipeline stages ------------------------------------------------------
 
     def route_compute(self, cycle: int) -> None:

@@ -9,6 +9,7 @@ exactly what Dateline or WBFC must break.
 from __future__ import annotations
 
 from ..network.flit import Packet
+from ..registry import ROUTINGS
 from ..topology.base import LOCAL_PORT
 from ..topology.mesh import Mesh
 from ..topology.torus import Torus, port_index
@@ -17,6 +18,7 @@ from .base import RoutingFunction
 __all__ = ["DimensionOrderRouting"]
 
 
+@ROUTINGS.register("dor")
 class DimensionOrderRouting(RoutingFunction):
     """Deterministic x-then-y(-then-z...) minimal routing."""
 

@@ -10,6 +10,7 @@ deadlock-free and packets can always fall back to it.
 from __future__ import annotations
 
 from ..network.flit import Packet
+from ..registry import ROUTINGS
 from ..topology.base import LOCAL_PORT
 from ..topology.mesh import Mesh
 from ..topology.torus import Torus, port_index
@@ -19,6 +20,7 @@ from .dor import DimensionOrderRouting
 __all__ = ["DuatoAdaptiveRouting"]
 
 
+@ROUTINGS.register("duato")
 class DuatoAdaptiveRouting(RoutingFunction):
     """Minimal adaptive candidates plus a DOR escape path."""
 

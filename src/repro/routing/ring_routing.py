@@ -9,6 +9,7 @@ local ring to the destination — three WBFC "injections" in sequence.
 from __future__ import annotations
 
 from ..network.flit import Packet
+from ..registry import ROUTINGS
 from ..topology.base import LOCAL_PORT
 from ..topology.hierarchical_ring import HR_GLOBAL_PORT, HR_LOCAL_PORT, HierarchicalRing
 from ..topology.ring import RING_BWD_PORT, RING_FWD_PORT, BidirectionalRing, UnidirectionalRing
@@ -17,6 +18,7 @@ from .base import RoutingFunction
 __all__ = ["RingRouting", "HierarchicalRingRouting"]
 
 
+@ROUTINGS.register("ring")
 class RingRouting(RoutingFunction):
     """Minimal routing on a unidirectional or bidirectional ring."""
 
@@ -35,6 +37,7 @@ class RingRouting(RoutingFunction):
         return RING_FWD_PORT if fwd <= topo.size - fwd else RING_BWD_PORT
 
 
+@ROUTINGS.register("hring")
 class HierarchicalRingRouting(RoutingFunction):
     """Local-ring / global-ring / local-ring deterministic routing."""
 

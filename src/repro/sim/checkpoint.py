@@ -1,0 +1,137 @@
+"""Checkpoint/restore and the content-addressed result store.
+
+Two independent resumability mechanisms live here:
+
+* :class:`Snapshot` — a deep, self-contained copy of every stateful layer
+  of a running simulation (network, routers, VC buffers, NIC queues,
+  flow-control ledgers, watchdog, workload, RNG).  ``Simulator.snapshot()``
+  produces one; ``Simulator.restore(snap)`` rewinds the same simulator — or
+  a freshly built structural twin — to that instant, and the resumed run is
+  **bit-identical** to one that never paused (proven by test with the
+  invariant sanitizer enabled).
+* :class:`ResultStore` — a directory of finished
+  :class:`~repro.metrics.stats.MeasurementSummary` records keyed by
+  :meth:`ScenarioSpec.content_hash`.  ``execute(spec)`` consults it before
+  simulating, so re-running a figure harness skips every already-computed
+  point and an interrupted sweep resumes from the last completed point.
+  Set ``REPRO_RESULT_STORE=/path/to/dir`` to enable it ambiently.
+
+Snapshot mechanics
+------------------
+Each stateful class exposes ``snapshot_state()`` (a tree of plain data,
+where structural objects — VC buffers — are encoded as ``(node, port, vc)``
+address tuples and dynamic objects — packets, flits, ring contexts — stay
+live references) and ``restore_state(state)`` (consumes an exclusively
+owned copy of that tree).  ``Simulator.snapshot`` deep-copies the whole
+tree with **one** shared memo so identity sharing between layers (the same
+``Packet`` buffered in a VC, queued in an event, and tracked by a workload)
+is preserved; ``restore`` deep-copies again so one snapshot can be restored
+many times.  Derived structures (router stage sets, phase-router indices,
+sorted caches, WBFC lane occupancy, CI nonzero index, pending-NIC set) are
+*recomputed* on restore rather than stored — the invariant sanitizer's
+deep checks then serve as the oracle that recomputation agrees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..metrics.stats import MeasurementSummary
+    from .spec import ScenarioSpec
+
+__all__ = ["Snapshot", "ResultStore", "default_store"]
+
+
+@dataclass
+class Snapshot:
+    """A self-contained moment of a simulation.
+
+    ``state`` is owned exclusively by this snapshot (deep-copied on
+    capture) and never mutated by restore, so one snapshot can seed any
+    number of restored runs.  ``structure`` fingerprints the network shape
+    so restoring into an incompatible simulator fails loudly.
+    """
+
+    structure: tuple
+    state: dict
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist with :mod:`pickle` (trusted inputs only)."""
+        with open(path, "wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Snapshot":
+        with open(path, "rb") as fh:
+            snap = pickle.load(fh)
+        if not isinstance(snap, cls):
+            raise TypeError(f"{path!r} does not contain a Snapshot")
+        return snap
+
+
+class ResultStore:
+    """Directory-backed ``content_hash -> MeasurementSummary`` map.
+
+    One JSON file per point, written atomically (temp file + rename), so
+    concurrent sweep workers and killed runs can never corrupt the store —
+    an interrupted write simply leaves no entry.  Each record embeds the
+    full spec dict next to the summary, so a store is auditable and
+    hash-collision-debuggable by eye.
+
+    ``hits``/``misses`` count this instance's lookups; tests and the CI
+    resumability smoke assert on them.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = str(path)
+        os.makedirs(self.path, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.json")
+
+    def get(self, spec: "ScenarioSpec") -> "MeasurementSummary | None":
+        from ..metrics.stats import MeasurementSummary
+
+        path = self._entry_path(spec.content_hash())
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                record = json.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError):
+            # Unreadable entry: treat as absent; a fresh run rewrites it.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return MeasurementSummary(**record["summary"])
+
+    def put(self, spec: "ScenarioSpec", summary: "MeasurementSummary") -> None:
+        import dataclasses
+
+        key = spec.content_hash()
+        record = {
+            "spec": spec.to_dict(),
+            "summary": dataclasses.asdict(summary),
+        }
+        path = self._entry_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.path) if name.endswith(".json"))
+
+
+def default_store() -> ResultStore | None:
+    """The ambient store named by ``REPRO_RESULT_STORE``, if any."""
+    path = os.environ.get("REPRO_RESULT_STORE", "").strip()
+    return ResultStore(path) if path else None

@@ -1,7 +1,7 @@
 """Simulation configuration.
 
 :class:`SimulationConfig` gathers every knob of the simulated network in one
-validated, immutable-ish record.  The defaults mirror Table 1 of the paper:
+validated, immutable record.  The defaults mirror Table 1 of the paper:
 a 2 GHz 4-stage wormhole router, 128-bit links, 1-flit short packets and
 5-flit long packets, and 3-flit-deep virtual-channel buffers.
 """
@@ -20,13 +20,16 @@ SHORT_PACKET_FLITS = 1
 LONG_PACKET_FLITS = 5
 
 
-@dataclass
+@dataclass(frozen=True)
 class SimulationConfig:
     """All parameters of one simulated network instance.
 
     The switching/flow-control strategy itself is selected separately (see
     :mod:`repro.experiments.designs`); this record holds the structural and
-    timing parameters shared by every design.
+    timing parameters shared by every design.  Frozen: a config aliased
+    across sweep points can never be mutated behind a caller's back, and
+    :class:`~repro.sim.spec.ScenarioSpec` hashing relies on immutability —
+    derive variants with :func:`dataclasses.replace`.
     """
 
     #: Number of virtual channels per physical channel (escape + adaptive).

@@ -57,6 +57,30 @@ class Watchdog:
     _next_starvation_scan: int = field(default=0, init=False)
     _last_progress: tuple[int, int] = field(default=(-1, -1), init=False)
 
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "idle_cycles": self._idle_cycles,
+            "deadlock_detected_at": self.deadlock_detected_at,
+            "max_idle_streak": self.max_idle_streak,
+            "starvation_detected_at": self.starvation_detected_at,
+            "starved_packet": self.starved_packet,
+            "waiting_since": dict(self._waiting_since),
+            "next_starvation_scan": self._next_starvation_scan,
+            "last_progress": self._last_progress,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._idle_cycles = state["idle_cycles"]
+        self.deadlock_detected_at = state["deadlock_detected_at"]
+        self.max_idle_streak = state["max_idle_streak"]
+        self.starvation_detected_at = state["starvation_detected_at"]
+        self.starved_packet = state["starved_packet"]
+        self._waiting_since = dict(state["waiting_since"])
+        self._next_starvation_scan = state["next_starvation_scan"]
+        self._last_progress = state["last_progress"]
+
     def observe(self, cycle: int) -> None:
         net = self.network
         # Starvation must be checked even on cycles where flits move —

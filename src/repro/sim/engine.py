@@ -15,6 +15,7 @@ from .deadlock import Watchdog
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.network import Network
+    from .checkpoint import Snapshot
 
 __all__ = ["Workload", "Simulator"]
 
@@ -24,6 +25,12 @@ class Workload(Protocol):
 
     def step(self, cycle: int, network: "Network") -> None:  # pragma: no cover
         """Offer this cycle's new packets to the NICs."""
+        ...
+
+    def stop(self) -> None:  # pragma: no cover
+        """Stop offering new packets (drain phase); in-flight traffic
+        keeps moving.  Works for every workload kind — synthetic, trace
+        replay, closed-loop — unlike zeroing an injection probability."""
         ...
 
 
@@ -83,6 +90,67 @@ class Simulator:
             )
 
         return self.run_until(empty, max_cycles)
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def _structure(self) -> tuple:
+        """Fingerprint of everything a snapshot assumes about its host."""
+        net = self.network
+        return (
+            type(net.topology).__name__,
+            getattr(net.topology, "radices", net.topology.num_nodes),
+            net.topology.num_ports,
+            net.flow_control.name,
+            type(net.routing).__name__,
+            type(self.workload).__name__ if self.workload is not None else None,
+            net.config,
+        )
+
+    def snapshot(self) -> "Snapshot":
+        """Capture every stateful layer at the current cycle boundary.
+
+        The returned :class:`~repro.sim.checkpoint.Snapshot` is fully
+        self-contained (one deep copy with a shared memo, so packets
+        referenced from several layers stay one object) and can be
+        restored into this simulator or a freshly built structural twin;
+        the resumed run is bit-identical to one that never paused.
+        """
+        import copy
+
+        from .checkpoint import Snapshot
+
+        state = {
+            "cycle": self.cycle,
+            "network": self.network.snapshot_state(),
+            "watchdog": self.watchdog.snapshot_state(),
+            "workload": (
+                self.workload.snapshot_state()
+                if self.workload is not None
+                and hasattr(self.workload, "snapshot_state")
+                else None
+            ),
+        }
+        return Snapshot(structure=self._structure(), state=copy.deepcopy(state))
+
+    def restore(self, snapshot: "Snapshot") -> None:
+        """Rewind this simulator to ``snapshot``'s instant.
+
+        Deep-copies the snapshot's state again, so one snapshot can seed
+        any number of restored runs without cross-contamination.
+        """
+        import copy
+
+        if snapshot.structure != self._structure():
+            raise ValueError(
+                "snapshot structure does not match this simulator: "
+                f"{snapshot.structure!r} != {self._structure()!r}"
+            )
+        state = copy.deepcopy(snapshot.state)
+        self.cycle = state["cycle"]
+        self.network.restore_state(state["network"])
+        self.watchdog.restore_state(state["watchdog"])
+        if state["workload"] is not None:
+            self.workload.restore_state(state["workload"])
 
     def _tick(self) -> None:
         cycle = self.cycle

@@ -67,6 +67,19 @@ class Topology(ABC):
     num_nodes: int
     num_ports: int
 
+    #: Registry names of the routing functions that make sense here when a
+    #: design does not name one explicitly (see ``designs.build_network``).
+    default_routing: str = "dor"
+    adaptive_routing: str = "duato"
+
+    @classmethod
+    def from_radices(cls, radices: tuple[int, ...]) -> "Topology":
+        """Build from the radix list of a spec string (``"torus:8x8"``).
+
+        Subclasses whose constructor is not ``cls(radices)`` override this.
+        """
+        return cls(radices)  # type: ignore[call-arg]
+
     @abstractmethod
     def neighbor(self, node: int, out_port: int) -> tuple[int, int] | None:
         """Downstream ``(node, in_port)`` of ``node``'s ``out_port``.

@@ -14,6 +14,7 @@ is its *hub*, and the hubs form one unidirectional global ring.
 
 from __future__ import annotations
 
+from ..registry import TOPOLOGIES
 from .base import LOCAL_PORT, Ring, RingHop, Topology
 
 __all__ = ["HierarchicalRing", "HR_LOCAL_PORT", "HR_GLOBAL_PORT"]
@@ -24,8 +25,20 @@ HR_LOCAL_PORT = 1
 HR_GLOBAL_PORT = 2
 
 
+@TOPOLOGIES.register("hring")
 class HierarchicalRing(Topology):
     """Local unidirectional rings bridged by one global unidirectional ring."""
+
+    default_routing = "hring"
+    adaptive_routing = "hring"
+
+    @classmethod
+    def from_radices(cls, radices: tuple[int, ...]) -> "HierarchicalRing":
+        if len(radices) != 2:
+            raise ValueError(
+                "hring spec takes <rings>x<local_size>, e.g. 'hring:4x4'"
+            )
+        return cls(radices[0], radices[1])
 
     def __init__(self, num_local_rings: int, local_size: int):
         if num_local_rings < 2:
@@ -34,6 +47,7 @@ class HierarchicalRing(Topology):
             raise ValueError("local rings need at least 2 nodes")
         self.num_local_rings = num_local_rings
         self.local_size = local_size
+        self.radices = (num_local_rings, local_size)
         self.num_nodes = num_local_rings * local_size
         self.num_ports = 3
         self._rings = self._build_rings()

@@ -7,12 +7,14 @@ schemes must not change behaviour where no ring exists.
 
 from __future__ import annotations
 
+from ..registry import TOPOLOGIES
 from .base import LOCAL_PORT, Ring, Topology
 from .torus import port_dim, port_dir
 
 __all__ = ["Mesh"]
 
 
+@TOPOLOGIES.register("mesh")
 class Mesh(Topology):
     """An n-dimensional mesh with per-dimension radix."""
 

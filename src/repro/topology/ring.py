@@ -8,6 +8,7 @@ walk-through figures (Figures 2-8) can be replayed literally.
 
 from __future__ import annotations
 
+from ..registry import TOPOLOGIES
 from .base import LOCAL_PORT, Ring, RingHop, Topology
 
 __all__ = ["UnidirectionalRing", "BidirectionalRing", "RING_FWD_PORT", "RING_BWD_PORT"]
@@ -18,13 +19,24 @@ RING_FWD_PORT = 1
 RING_BWD_PORT = 2
 
 
+@TOPOLOGIES.register("ring", "uniring")
 class UnidirectionalRing(Topology):
     """k nodes connected in a single one-way cycle."""
+
+    default_routing = "ring"
+    adaptive_routing = "ring"
+
+    @classmethod
+    def from_radices(cls, radices: tuple[int, ...]) -> "UnidirectionalRing":
+        if len(radices) != 1:
+            raise ValueError("ring spec takes a single radix, e.g. 'ring:8'")
+        return cls(radices[0])
 
     def __init__(self, size: int):
         if size < 2:
             raise ValueError("ring needs at least 2 nodes")
         self.size = size
+        self.radices = (size,)
         self.num_nodes = size
         self.num_ports = 2
         hops = tuple(
@@ -48,13 +60,24 @@ class UnidirectionalRing(Topology):
         return "local" if port == LOCAL_PORT else "fwd"
 
 
+@TOPOLOGIES.register("biring")
 class BidirectionalRing(Topology):
     """k nodes connected in two counter-rotating cycles."""
+
+    default_routing = "ring"
+    adaptive_routing = "ring"
+
+    @classmethod
+    def from_radices(cls, radices: tuple[int, ...]) -> "BidirectionalRing":
+        if len(radices) != 1:
+            raise ValueError("biring spec takes a single radix, e.g. 'biring:8'")
+        return cls(radices[0])
 
     def __init__(self, size: int):
         if size < 2:
             raise ValueError("ring needs at least 2 nodes")
         self.size = size
+        self.radices = (size,)
         self.num_nodes = size
         self.num_ports = 3
         fwd = tuple(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import itertools
 
+from ..registry import TOPOLOGIES
 from .base import LOCAL_PORT, Ring, RingHop, Topology
 
 __all__ = ["Torus", "port_index", "port_dim", "port_dir"]
@@ -29,6 +30,7 @@ def port_dir(port: int) -> int:
     return +1 if (port - 1) % 2 == 0 else -1
 
 
+@TOPOLOGIES.register("torus")
 class Torus(Topology):
     """A k-ary n-cube with per-dimension radix.
 

@@ -7,8 +7,6 @@ matching the x-axis of the paper's latency-throughput figures.
 
 from __future__ import annotations
 
-import itertools
-
 import numpy as np
 
 from ..network.flit import Packet
@@ -36,7 +34,7 @@ class SyntheticTraffic:
         self.injection_rate = injection_rate
         self.lengths = lengths if lengths is not None else BimodalLength()
         self.rng = make_rng(seed)
-        self._pid = itertools.count()
+        self._next_pid = 0
         self.packets_created = 0
         #: Probability a node starts a packet on a given cycle.
         self.packet_probability = injection_rate / self.lengths.mean
@@ -51,8 +49,10 @@ class SyntheticTraffic:
             dst = self.pattern.dest(src, self.rng)
             if dst is None:
                 continue
+            pid = self._next_pid
+            self._next_pid = pid + 1
             packet = Packet(
-                pid=next(self._pid),
+                pid=pid,
                 src=src,
                 dst=dst,
                 length=self.lengths.draw(self.rng),
@@ -60,3 +60,23 @@ class SyntheticTraffic:
             )
             network.nics[src].offer(packet)
             self.packets_created += 1
+
+    def stop(self) -> None:
+        """Stop offering new packets (the drain phase of a measurement)."""
+        self.packet_probability = 0.0
+
+    # -- checkpoint/restore ---------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "rng": self.rng.bit_generator.state,
+            "next_pid": self._next_pid,
+            "packets_created": self.packets_created,
+            "packet_probability": self.packet_probability,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        self._next_pid = state["next_pid"]
+        self.packets_created = state["packets_created"]
+        self.packet_probability = state["packet_probability"]

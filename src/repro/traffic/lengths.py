@@ -11,9 +11,10 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..registry import LENGTH_DISTRIBUTIONS
 from ..sim.config import LONG_PACKET_FLITS, SHORT_PACKET_FLITS
 
-__all__ = ["LengthDistribution", "FixedLength", "BimodalLength"]
+__all__ = ["LengthDistribution", "FixedLength", "BimodalLength", "lengths_from_spec"]
 
 
 class LengthDistribution(ABC):
@@ -33,7 +34,24 @@ class LengthDistribution(ABC):
     def max_length(self) -> int:
         """Longest packet this distribution can produce."""
 
+    @abstractmethod
+    def to_spec(self) -> tuple:
+        """Declarative ``(name, *args)`` form, invertible via the registry.
 
+        The tuple is what :class:`~repro.sim.spec.ScenarioSpec` stores and
+        hashes; ``lengths_from_spec`` rebuilds an equivalent distribution.
+        """
+
+
+def lengths_from_spec(spec: tuple | None) -> "LengthDistribution":
+    """Rebuild a distribution from its ``(name, *args)`` spec tuple."""
+    if spec is None:
+        return BimodalLength()
+    name, *args = spec
+    return LENGTH_DISTRIBUTIONS.create(name, *args)
+
+
+@LENGTH_DISTRIBUTIONS.register("fixed")
 class FixedLength(LengthDistribution):
     """Every packet has the same length."""
 
@@ -41,6 +59,9 @@ class FixedLength(LengthDistribution):
         if length < 1:
             raise ValueError("length must be >= 1 flit")
         self.length = length
+
+    def to_spec(self) -> tuple:
+        return ("fixed", self.length)
 
     def draw(self, rng: np.random.Generator) -> int:
         return self.length
@@ -54,6 +75,7 @@ class FixedLength(LengthDistribution):
         return self.length
 
 
+@LENGTH_DISTRIBUTIONS.register("bimodal")
 class BimodalLength(LengthDistribution):
     """The paper's mix: short request packets and long data packets."""
 
@@ -70,6 +92,9 @@ class BimodalLength(LengthDistribution):
         self.short = short
         self.long = long
         self.long_fraction = long_fraction
+
+    def to_spec(self) -> tuple:
+        return ("bimodal", self.short, self.long, self.long_fraction)
 
     def draw(self, rng: np.random.Generator) -> int:
         return self.long if rng.random() < self.long_fraction else self.short

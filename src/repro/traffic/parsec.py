@@ -29,7 +29,6 @@ Absolute times are not comparable to the paper's; the design-to-design
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from ..network.flit import Packet
@@ -127,7 +126,8 @@ class CoherenceWorkload:
         self.outstanding = [0] * n
         self.completed = [0] * n
         self.issued = [0] * n
-        self._pid = itertools.count()
+        self._next_pid = 0
+        self._stopped = False
         #: (ready_cycle, packet) pairs modeling L2/memory service latency.
         self._service_queue: list[tuple[int, Packet]] = []
         self.memory_controllers = self._corner_nodes()
@@ -157,8 +157,10 @@ class CoherenceWorkload:
             # Local access: no network trip; complete/continue immediately.
             self._handle_local(dst, cls, payload, cycle)
             return
+        pid = self._next_pid
+        self._next_pid = pid + 1
         packet = Packet(
-            pid=next(self._pid),
+            pid=pid,
             src=src,
             dst=dst,
             length=length,
@@ -193,6 +195,9 @@ class CoherenceWorkload:
             if self.finished_cycle is None:
                 self.finished_cycle = cycle
             return
+        if self._stopped:
+            # Draining: in-flight transactions complete, no new issues.
+            return
         n = network.topology.num_nodes
         draws = self.rng.random(n)
         for core in range(n):
@@ -212,8 +217,10 @@ class CoherenceWorkload:
             self._send(core, home, SHORT_PACKET_FLITS, REQUEST, txn, cycle)
 
     def _schedule(self, src: int, dst: int, length: int, cls: int, payload, when: int) -> None:
+        pid = self._next_pid
+        self._next_pid = pid + 1
         packet = Packet(
-            pid=next(self._pid),
+            pid=pid,
             src=src,
             dst=dst,
             length=length,
@@ -251,6 +258,34 @@ class CoherenceWorkload:
         elif cls == RESPONSE:
             self.outstanding[txn.core] -= 1
             self.completed[txn.core] += 1
+
+    def stop(self) -> None:
+        """Stop issuing new transactions (the drain phase of a measurement)."""
+        self._stopped = True
+
+    # -- checkpoint/restore ------------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "rng": self.rng.bit_generator.state,
+            "outstanding": list(self.outstanding),
+            "completed": list(self.completed),
+            "issued": list(self.issued),
+            "next_pid": self._next_pid,
+            "stopped": self._stopped,
+            "service_queue": list(self._service_queue),
+            "finished_cycle": self.finished_cycle,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.rng.bit_generator.state = state["rng"]
+        self.outstanding = list(state["outstanding"])
+        self.completed = list(state["completed"])
+        self.issued = list(state["issued"])
+        self._next_pid = state["next_pid"]
+        self._stopped = state["stopped"]
+        self._service_queue = list(state["service_queue"])
+        self.finished_cycle = state["finished_cycle"]
 
     # -- results ----------------------------------------------------------------------------
 

@@ -12,6 +12,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from ..registry import TRAFFIC_PATTERNS
 from ..topology.base import Topology
 from ..topology.mesh import Mesh
 from ..topology.torus import Torus
@@ -46,6 +47,7 @@ class TrafficPattern(ABC):
         return None if dst == src else dst
 
 
+@TRAFFIC_PATTERNS.register("UR", "uniform_random")
 class UniformRandom(TrafficPattern):
     """Each packet targets a uniformly random other node."""
 
@@ -68,6 +70,7 @@ class _GridPattern(TrafficPattern):
         super().__init__(topology)
 
 
+@TRAFFIC_PATTERNS.register("TP", "transpose")
 class Transpose(_GridPattern):
     """(x, y, ...) -> reversed coordinates; square grids only."""
 
@@ -84,6 +87,7 @@ class Transpose(_GridPattern):
         return self._skip_self(src, topo.node_at(tuple(reversed(coords))))  # type: ignore[union-attr]
 
 
+@TRAFFIC_PATTERNS.register("BC", "bit_complement")
 class BitComplement(TrafficPattern):
     """node -> bitwise complement of its index (power-of-two networks)."""
 
@@ -99,6 +103,7 @@ class BitComplement(TrafficPattern):
         return self._skip_self(src, (~src) & (self.topology.num_nodes - 1))
 
 
+@TRAFFIC_PATTERNS.register("TO", "tornado")
 class Tornado(_GridPattern):
     """Each coordinate shifts by ceil(k/2) - 1: the adversarial wrap pattern."""
 
@@ -113,6 +118,7 @@ class Tornado(_GridPattern):
         return self._skip_self(src, topo.node_at(shifted))  # type: ignore[union-attr]
 
 
+@TRAFFIC_PATTERNS.register("BR", "bit_reverse")
 class BitReverse(TrafficPattern):
     """node -> bit-reversed index (power-of-two networks)."""
 
@@ -130,6 +136,7 @@ class BitReverse(TrafficPattern):
         return self._skip_self(src, rev)
 
 
+@TRAFFIC_PATTERNS.register("HS", "hotspot")
 class Hotspot(TrafficPattern):
     """A fraction of traffic targets fixed hotspot nodes; rest is uniform."""
 
@@ -150,6 +157,7 @@ class Hotspot(TrafficPattern):
         return self._uniform.dest(src, rng)
 
 
+@TRAFFIC_PATTERNS.register("NN", "nearest_neighbor")
 class NearestNeighbor(_GridPattern):
     """Each packet targets a random grid neighbor (high locality)."""
 
@@ -169,6 +177,7 @@ class NearestNeighbor(_GridPattern):
 
 
 #: Short names used by the experiment harness (the paper's abbreviations).
+#: Kept as a plain dict for back-compat; the registry is the source of truth.
 PATTERNS: dict[str, type[TrafficPattern]] = {
     "UR": UniformRandom,
     "TP": Transpose,
@@ -180,9 +189,5 @@ PATTERNS: dict[str, type[TrafficPattern]] = {
 
 
 def make_pattern(name: str, topology: Topology) -> TrafficPattern:
-    """Instantiate a pattern by its paper abbreviation (UR/TP/BC/TO/...)."""
-    try:
-        cls = PATTERNS[name.upper()]
-    except KeyError:
-        raise ValueError(f"unknown pattern {name!r}; choose from {sorted(PATTERNS)}")
-    return cls(topology)  # type: ignore[arg-type]
+    """Instantiate a pattern by its registered name (UR/TP/BC/TO/...)."""
+    return TRAFFIC_PATTERNS.create(name, topology)

@@ -9,7 +9,6 @@ serialized to JSON for later runs.
 
 from __future__ import annotations
 
-import itertools
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,7 +40,8 @@ class Trace:
     def __init__(self, entries: list[TraceEntry] | None = None):
         self.entries: list[TraceEntry] = list(entries or [])
         self._cursor = 0
-        self._pid = itertools.count()
+        self._next_pid = 0
+        self._stopped = False
 
     def append(self, entry: TraceEntry) -> None:
         if self.entries and entry.cycle < self.entries[-1].cycle:
@@ -51,17 +51,22 @@ class Trace:
     def reset(self) -> None:
         """Rewind for another replay."""
         self._cursor = 0
-        self._pid = itertools.count()
+        self._next_pid = 0
+        self._stopped = False
 
     # -- Workload protocol ---------------------------------------------------
 
     def step(self, cycle: int, network: Network) -> None:
+        if self._stopped:
+            return
         while self._cursor < len(self.entries) and self.entries[self._cursor].cycle <= cycle:
             e = self.entries[self._cursor]
             self._cursor += 1
+            pid = self._next_pid
+            self._next_pid = pid + 1
             network.nics[e.src].offer(
                 Packet(
-                    pid=next(self._pid),
+                    pid=pid,
                     src=e.src,
                     dst=e.dst,
                     length=e.length,
@@ -70,9 +75,27 @@ class Trace:
                 )
             )
 
+    def stop(self) -> None:
+        """Stop replaying (the drain phase of a measurement)."""
+        self._stopped = True
+
     @property
     def exhausted(self) -> bool:
         return self._cursor >= len(self.entries)
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "cursor": self._cursor,
+            "next_pid": self._next_pid,
+            "stopped": self._stopped,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._cursor = state["cursor"]
+        self._next_pid = state["next_pid"]
+        self._stopped = state["stopped"]
 
     # -- persistence --------------------------------------------------------------
 
@@ -128,3 +151,22 @@ class TraceRecorder:
         finally:
             for nic, original in zip(network.nics, originals):
                 nic.offer = original  # type: ignore[method-assign]
+
+    def stop(self) -> None:
+        self.inner.stop()
+
+    # -- checkpoint/restore --------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "inner": self.inner.snapshot_state(),
+            "entries": list(self.trace.entries),
+            "trace": self.trace.snapshot_state(),
+            "cycle": self._cycle,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.inner.restore_state(state["inner"])
+        self.trace.entries = list(state["entries"])
+        self.trace.restore_state(state["trace"])
+        self._cycle = state["cycle"]

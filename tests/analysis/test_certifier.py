@@ -113,17 +113,29 @@ class TestVerdicts:
         assert cert.ok, cert.report()
 
     def test_invalid_configuration_is_rejected_not_raised(self):
-        # DL-2VC built with one escape VC: validate() refuses; the
-        # certifier reports that as a rejection.
         cfg = SimulationConfig(num_vcs=1, num_escape_vcs=1)
         net_cfg = cfg  # base config; build_network overrides VCs per design
         cert = certify("WBFC-1VC", Torus((4, 4)), net_cfg)
         assert cert.ok  # control: the override makes it buildable
+        from repro.experiments.designs import Design
+        from repro.topology.ring import UnidirectionalRing
+
+        # A design pinned to DOR cannot build on a ring topology: the
+        # routing constructor refuses, and the certifier reports that as
+        # a rejection rather than propagating the TypeError.
+        pinned = Design("WBFC-DOR", 1, 1, "wbfc", False, routing="dor")
+        cert = certify(pinned, UnidirectionalRing(8))
+        assert not cert.ok
+        assert "rejected by validation" in cert.reasons[0]
+
+    def test_wbfc_certifies_on_standalone_ring(self):
+        # Ring topologies pick ring routing by default, so the paper's
+        # Section-6 claim — WBFC applies to any ring-bearing wormhole
+        # topology — certifies directly.
         from repro.topology.ring import UnidirectionalRing
 
         cert = certify("WBFC-1VC", UnidirectionalRing(8))
-        assert not cert.ok
-        assert "rejected by validation" in cert.reasons[0]
+        assert cert.ok, cert.report()
 
     def test_wbfc_ring_too_short_is_rejected(self):
         """A 2-node ring cannot hold ML+1 = 3 marked buffers, so the

@@ -1,0 +1,181 @@
+"""Checkpoint/restore bit-identity and the content-addressed result store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.stats import MetricsCollector
+from repro.sim.checkpoint import ResultStore, Snapshot
+from repro.sim.config import SimulationConfig
+from repro.sim.spec import (
+    ScenarioSpec,
+    execute,
+    execution_stats,
+    prepare,
+    reset_execution_stats,
+)
+
+#: The sanitizer's deep invariant checks run throughout, serving as the
+#: oracle that restore's recomputed derived state matches reality.
+AUDITED = SimulationConfig(num_vcs=1, sanitize=True)
+
+
+def spec_for(design: str = "WBFC-1VC", **overrides) -> ScenarioSpec:
+    base = dict(
+        design=design,
+        topology="torus:4x4",
+        pattern="UR",
+        injection_rate=0.10,
+        config=AUDITED,
+        seed=5,
+        warmup=120,
+        measure=240,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+def measured_summary(prepared, measure: int):
+    sim = prepared.simulator
+    collector = MetricsCollector(prepared.network)
+    collector.begin(sim.cycle)
+    sim.run(measure)
+    collector.end(sim.cycle)
+    return collector.summary()
+
+
+class TestBitIdenticalResume:
+    @pytest.mark.parametrize(
+        "design", ["WBFC-1VC", "DL-2VC", "WBFC-2VC", "CBS-1VC"]
+    )
+    def test_restore_into_fresh_twin_matches_unpaused_run(self, design):
+        spec = spec_for(design)
+        if design == "CBS-1VC":
+            from repro.network.switching import Switching
+
+            spec = spec_for(
+                design,
+                config=SimulationConfig(
+                    num_vcs=1,
+                    buffer_depth=8,
+                    switching=Switching.WORMHOLE_NONATOMIC,
+                    sanitize=True,
+                ),
+            )
+        baseline = prepare(spec)
+        baseline.simulator.run(spec.warmup)
+        snap = baseline.simulator.snapshot()
+        reference = measured_summary(baseline, spec.measure)
+
+        twin = prepare(spec)
+        twin.simulator.restore(snap)
+        assert twin.simulator.cycle == spec.warmup
+        assert measured_summary(twin, spec.measure) == reference
+
+    def test_one_snapshot_seeds_many_restores(self):
+        spec = spec_for()
+        prepared = prepare(spec)
+        prepared.simulator.run(spec.warmup)
+        snap = prepared.simulator.snapshot()
+        reference = measured_summary(prepared, spec.measure)
+        # Rewind the *same* simulator twice from the same snapshot.
+        for _ in range(2):
+            prepared.simulator.restore(snap)
+            assert measured_summary(prepared, spec.measure) == reference
+
+    def test_closed_loop_workload_resumes_bit_identically(self):
+        from repro.experiments.designs import build_network
+        from repro.sim.engine import Simulator
+        from repro.traffic.parsec import CoherenceWorkload
+
+        def build():
+            net = build_network("WBFC-2VC", "torus:4x4", AUDITED)
+            wl = CoherenceWorkload(net, "canneal", transactions_per_core=8, seed=2)
+            return Simulator(net, wl), wl
+
+        sim, wl = build()
+        sim.run(300)
+        snap = sim.snapshot()
+        sim.run(400)
+        reference = (sim.cycle, list(wl.completed), list(wl.issued), wl._next_pid)
+
+        sim2, wl2 = build()
+        sim2.restore(snap)
+        sim2.run(400)
+        assert (sim2.cycle, list(wl2.completed), list(wl2.issued), wl2._next_pid) == reference
+
+
+class TestSnapshotContracts:
+    def test_snapshot_survives_pickle_round_trip(self, tmp_path):
+        spec = spec_for(measure=120)
+        prepared = prepare(spec)
+        prepared.simulator.run(spec.warmup)
+        snap = prepared.simulator.snapshot()
+        reference = measured_summary(prepared, spec.measure)
+
+        path = tmp_path / "checkpoint.pkl"
+        snap.save(path)
+        loaded = Snapshot.load(path)
+
+        twin = prepare(spec)
+        twin.simulator.restore(loaded)
+        assert measured_summary(twin, spec.measure) == reference
+
+    def test_restore_rejects_structural_mismatch(self):
+        donor = prepare(spec_for("WBFC-1VC"))
+        donor.simulator.run(50)
+        snap = donor.simulator.snapshot()
+        other = prepare(spec_for("DL-2VC"))
+        with pytest.raises(ValueError, match="structure"):
+            other.simulator.restore(snap)
+
+
+class TestResultStore:
+    def test_second_execute_is_answered_from_store(self, tmp_path):
+        spec = spec_for(measure=120)
+        store = ResultStore(tmp_path / "store")
+        reset_execution_stats()
+        first = execute(spec, store=store)
+        assert execution_stats() == {"simulated": 1, "cache_hits": 0}
+        second = execute(spec, store=store)
+        assert execution_stats() == {"simulated": 1, "cache_hits": 1}
+        assert first == second
+        assert len(store) == 1
+
+    def test_interrupted_sweep_resumes_from_completed_points(self, tmp_path):
+        rates = [0.04, 0.06, 0.08]
+        specs = [spec_for(injection_rate=r, measure=120) for r in rates]
+        store_dir = tmp_path / "store"
+
+        # First attempt dies after two points (a killed run leaves a
+        # partial store; atomic writes mean no corrupt entries).
+        partial = ResultStore(store_dir)
+        for spec in specs[:2]:
+            execute(spec, store=partial)
+
+        resumed = ResultStore(store_dir)
+        reset_execution_stats()
+        results = [execute(spec, store=resumed) for spec in specs]
+        assert execution_stats() == {"simulated": 1, "cache_hits": 2}
+        assert len(results) == 3
+        assert len(resumed) == 3
+
+    def test_ambient_store_via_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE", str(tmp_path / "ambient"))
+        spec = spec_for(measure=120)
+        reset_execution_stats()
+        execute(spec)
+        execute(spec)
+        assert execution_stats() == {"simulated": 1, "cache_hits": 1}
+
+    def test_unreadable_entry_treated_as_miss(self, tmp_path):
+        spec = spec_for(measure=120)
+        store = ResultStore(tmp_path / "store")
+        execute(spec, store=store)
+        # Corrupt the entry on disk; the store must recompute, not crash.
+        entry = store._entry_path(spec.content_hash())
+        with open(entry, "w", encoding="utf-8") as fh:
+            fh.write("{not json")
+        assert store.get(spec) is None
+        fresh = execute(spec, store=store)
+        assert store.get(spec) == fresh
