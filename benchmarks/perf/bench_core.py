@@ -10,12 +10,16 @@ Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/perf/bench_core.py --label current
     PYTHONPATH=src python benchmarks/perf/bench_core.py --smoke --floor 5000
+    PYTHONPATH=src python benchmarks/perf/bench_core.py --telemetry-guard
 
 ``--label`` merges this run into ``BENCH_core.json`` under that key and,
 when both ``baseline`` and ``current`` are present, reports per-benchmark
 speedups.  ``--smoke`` runs a single short benchmark and exits non-zero
 if cycles/sec falls below ``--floor`` (a generous regression tripwire for
-CI, not a precision measurement).
+CI, not a precision measurement).  ``--telemetry-guard`` enforces the
+probe seam's overhead budget: telemetry-off throughput must stay within
+``--tolerance`` (default 2%) of the recorded reference, padded by
+``--noise`` when run on a different machine.
 """
 
 from __future__ import annotations
@@ -60,12 +64,23 @@ class BenchResult:
         }
 
 
-def _run_cycles(design: str, radix: int, rate: float, cycles: int, seed: int = 1) -> int:
+def _run_cycles(
+    design: str,
+    radix: int,
+    rate: float,
+    cycles: int,
+    seed: int = 1,
+    telemetry: tuple = (),
+) -> int:
     """Drive one simulation and return the number of cycles executed."""
     topology = Torus((radix, radix))
     network = build_network(design, topology)
     workload = SyntheticTraffic(make_pattern("UR", topology), rate, seed=seed)
     sim = Simulator(network, workload, watchdog=Watchdog(network, deadlock_window=50_000))
+    if telemetry:
+        from repro.telemetry import TelemetrySession
+
+        TelemetrySession(network, telemetry).attach(sim)
     sim.run(cycles)
     return sim.cycle
 
@@ -182,6 +197,57 @@ def smoke(floor: float, cycles: int = 5_000) -> int:
     return 0
 
 
+def telemetry_guard(
+    tolerance: float,
+    noise: float,
+    reference: Path,
+    ref_label: str = "current",
+    cycles: int = 30_000,
+    repeats: int = 3,
+) -> int:
+    """Fail if telemetry-off throughput regressed beyond the probe budget.
+
+    Measures the headline benchmark with the probe bus inactive and
+    compares against the cycles/sec recorded in ``BENCH_core.json`` under
+    ``ref_label``.  The probe seam's contract is <= ``tolerance`` (2%)
+    overhead; ``noise`` is an additional allowance for running on a
+    different machine or a noisy CI runner — pass ``--noise 0`` on the
+    machine that recorded the reference for the strict check.  Also prints
+    the telemetry-ON (counters+histograms) slowdown, informationally.
+    """
+    try:
+        doc = json.loads(reference.read_text())
+        ref_cps = doc["revisions"][ref_label]["results"][HEADLINE]["cycles_per_sec"]
+    except (OSError, KeyError, json.JSONDecodeError) as exc:
+        print(f"FAIL: no {ref_label!r} {HEADLINE} reference in {reference}: {exc}",
+              file=sys.stderr)
+        return 1
+
+    def _best(telemetry: tuple) -> float:
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            executed = _run_cycles("WBFC-1VC", 4, 0.05, cycles, telemetry=telemetry)
+            wall = time.perf_counter() - t0
+            if best is None or wall < best:
+                best = wall
+        return executed / best if best > 0 else 0.0
+
+    off_cps = _best(())
+    on_cps = _best(("counters", "histograms"))
+    floor = ref_cps * (1 - tolerance) * (1 - noise)
+    print(f"telemetry guard: reference {ref_cps:.0f} cycles/sec ({ref_label})")
+    print(f"  telemetry off: {off_cps:.0f} cycles/sec "
+          f"({off_cps / ref_cps:.1%} of reference; floor {floor:.0f})")
+    print(f"  telemetry on:  {on_cps:.0f} cycles/sec "
+          f"({on_cps / off_cps:.1%} of off; informational)")
+    if off_cps < floor:
+        print(f"FAIL: telemetry-off throughput below {1 - tolerance:.0%} of the "
+              f"recorded reference (noise allowance {noise:.0%})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="current",
@@ -193,9 +259,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="run only the short CI smoke benchmark")
     parser.add_argument("--floor", type=float, default=5_000.0,
                         help="cycles/sec floor for --smoke")
+    parser.add_argument("--telemetry-guard", action="store_true",
+                        help="fail if telemetry-off overhead vs the recorded "
+                             "reference exceeds --tolerance")
+    parser.add_argument("--tolerance", type=float, default=0.02,
+                        help="probe-seam overhead budget (fraction)")
+    parser.add_argument("--noise", type=float, default=0.25,
+                        help="extra allowance for cross-machine/CI variance; "
+                             "0 on the machine that recorded the reference")
+    parser.add_argument("--ref-label", default="current",
+                        help="BENCH_core.json revision the guard compares to")
     args = parser.parse_args(argv)
     if args.smoke:
         return smoke(args.floor)
+    if args.telemetry_guard:
+        return telemetry_guard(
+            args.tolerance, args.noise, args.output, args.ref_label,
+            repeats=args.repeats,
+        )
     run = run_all(repeats=args.repeats)
     doc = merge_and_write(args.label, run, args.output)
     if "speedup_current_vs_baseline" in doc:

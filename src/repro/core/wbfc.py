@@ -506,6 +506,9 @@ class WormBubbleFlowControl(FlowControl):
             self.marker_owner[key] = packet.pid
             self._owned_keys[packet.pid] = key
             self._stats_dict["marks"] += 1
+            if self.probes.active:
+                self.probes.wb_color(ivc, WBColor.WHITE, WBColor.BLACK, "mark")
+                self.probes.ci_update(node, ring_id, 1, "mark")
             return False
         if color is WBColor.GRAY and ci > 0:
             # Equation (6), gray clause: the starvation token admits a
@@ -525,6 +528,7 @@ class WormBubbleFlowControl(FlowControl):
     def on_acquire(self, packet: Packet, ivc: InputVC, in_ring: bool, node: int, cycle: int) -> None:
         if ivc.ring_id is None:
             return
+        probes = self.probes if self.probes.active else None
         if in_ring:
             ctx = packet.current_ctx
             if ctx is None or ctx.ring_id != ivc.ring_id:
@@ -540,8 +544,12 @@ class WormBubbleFlowControl(FlowControl):
                 if ctx.ch > 0:
                     ctx.ch -= 1
                     self._stats_dict["unmarks"] += 1
+                    if probes:
+                        probes.fc_event("wbfc_unmark", ivc.ring_id)
                 else:
                     ctx.color_debt.append(WBColor.BLACK)
+                    if probes:
+                        probes.fc_event("wbfc_black_debt", ivc.ring_id)
             elif ivc.color is WBColor.GRAY:
                 if (
                     packet.length <= ivc.capacity
@@ -552,11 +560,15 @@ class WormBubbleFlowControl(FlowControl):
                     # worm-length later (essential when ML == 1 and the
                     # gray is the ring's only marked bubble).
                     ctx.color_debt.append(WBColor.GRAY)
+                    if probes:
+                        probes.fc_event("wbfc_gray_debt", ivc.ring_id)
                 else:
                     if ctx.holds_gray:
                         raise RuntimeError("a ring cannot hold two gray tokens")
                     ctx.holds_gray = True
                     self._stats_dict["transit_gray_grabs"] += 1
+                    if probes:
+                        probes.fc_event("wbfc_transit_gray_grab", ivc.ring_id)
         else:
             # Injection (Step 2 completing): open a fresh ring context and
             # move the shared counter into the head flit (CI -> CH).
@@ -564,6 +576,8 @@ class WormBubbleFlowControl(FlowControl):
             ctx = RingContext(ring_id=ivc.ring_id)
             ctx.ch = self.ci[key]
             self.ci[key] = 0
+            if probes and ctx.ch:
+                probes.ci_update(node, ivc.ring_id, -ctx.ch, "inject")
             if ivc.color is WBColor.BLACK:
                 if not (self.black_reentry and ctx.ch >= 1):
                     raise RuntimeError("injection granted into a black worm-bubble")
@@ -571,13 +585,19 @@ class WormBubbleFlowControl(FlowControl):
                 ctx.ch -= 1
                 self._stats_dict["unmarks"] += 1
                 self._stats_dict["black_reentries"] += 1
+                if probes:
+                    probes.fc_event("wbfc_black_reentry", ivc.ring_id)
             if ivc.color is WBColor.GRAY:
                 ctx.holds_gray = True
                 ctx.gray_entitled = True
                 self._stats_dict["gray_grabs"] += 1
+                if probes:
+                    probes.fc_event("wbfc_gray_grab", ivc.ring_id)
             packet.current_ctx = ctx
         ctx.occupied += 1
         ivc.occupant_ctx = ctx
+        if probes and ivc.color is not WBColor.WHITE:
+            probes.wb_color(ivc, ivc.color, WBColor.WHITE, "park")
         ivc.color = WBColor.WHITE  # parked while occupied
 
     def on_leave_ring(self, packet: Packet, node: int, cycle: int) -> None:
@@ -589,6 +609,8 @@ class WormBubbleFlowControl(FlowControl):
         key = (node, ctx.ring_id)
         if ctx.ch:
             self.ci[key] = self.ci.get(key, 0) + ctx.ch
+            if self.probes.active:
+                self.probes.ci_update(node, ctx.ring_id, ctx.ch, "bank")
             ctx.ch = 0
         ctx.closed = True
         packet.current_ctx = None
@@ -598,7 +620,10 @@ class WormBubbleFlowControl(FlowControl):
         if ctx is None:
             return
         ctx.occupied -= 1
-        ivc.color = ctx.settle_vacated_color()
+        settled = ctx.settle_vacated_color()
+        if self.probes.active and settled is not WBColor.WHITE:
+            self.probes.wb_color(ivc, WBColor.WHITE, settled, "settle")
+        ivc.color = settled
         ivc.occupant_ctx = None
 
     def on_grant(self, packet: Packet, node: int, cycle: int) -> None:
@@ -756,6 +781,9 @@ class WormBubbleFlowControl(FlowControl):
                 ivc.color = WBColor.WHITE  # type: ignore[attr-defined]
                 self.ci[key] = ci - 1
                 self._stats_dict["reclaims"] += 1
+                if self.probes.active:
+                    self.probes.wb_color(ivc, WBColor.BLACK, WBColor.WHITE, "reclaim")
+                    self.probes.ci_update(key[0], key[1], -1, "reclaim")
             elif cycle - self._last_request.get(key, -(10**9)) > 4 * self.reclaim_patience + 2:
                 node, ring_id = key
                 ring = self.rings[ring_id]
@@ -767,3 +795,6 @@ class WormBubbleFlowControl(FlowControl):
                 self.ci[src_key] -= 1
                 self.ci[dst_key] = self.ci.get(dst_key, 0) + 1
                 self._stats_dict["ci_drifts"] += 1
+                if self.probes.active:
+                    self.probes.ci_update(src_key[0], src_key[1], -1, "drift")
+                    self.probes.ci_update(dst_key[0], dst_key[1], 1, "drift")

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Packet
+from ..telemetry.probes import ProbeBus
 from ..topology.base import Ring
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -37,6 +38,8 @@ class FlowControl(ABC):
 
     def __init__(self) -> None:
         self.network: Network | None = None
+        # Standalone-safe inactive bus; attach() rebinds to the network's.
+        self.probes = ProbeBus()
         #: ring_id -> Ring
         self.rings: dict[str, Ring] = {}
         #: (node, out_port) -> ring_id fed by that output
@@ -56,6 +59,7 @@ class FlowControl(ABC):
     def attach(self, network: Network) -> None:
         """Bind to a built network: index rings and label escape buffers."""
         self.network = network
+        self.probes = network.probes
         for ring in network.topology.rings():
             self.rings[ring.ring_id] = ring
             buffers = []

@@ -76,4 +76,7 @@ class LocalizedBubbleFlowControl(FlowControl):
             return True
         assert self.network is not None
         bubble = self.network.config.max_packet_length
-        return ovc.credits >= packet.length + bubble
+        ok = ovc.credits >= packet.length + bubble
+        if not ok and self.probes.active:
+            self.probes.fc_event("bfc_injection_deny", ovc.downstream.ring_id)
+        return ok

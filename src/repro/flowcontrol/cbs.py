@@ -138,6 +138,8 @@ class CriticalBubbleScheme(FlowControl):
         ivc.critical = False
         upstream.critical = True
         self.stats["critical_transfers"] += 1
+        if self.probes.active:
+            self.probes.fc_event("cbs_critical_transfer", ring_id)
 
     def pre_cycle(self, cycle: int) -> None:
         """Proactively displace idle critical bubbles backward."""
@@ -153,4 +155,6 @@ class CriticalBubbleScheme(FlowControl):
                     down.critical = False
                     up.critical = True
                     self.stats["displacements"] += 1
+                    if self.probes.active:
+                        self.probes.fc_event("cbs_displacement", down.ring_id)
                 break  # at most one move per ring per cycle

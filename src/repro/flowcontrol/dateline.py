@@ -151,6 +151,8 @@ class DatelineFlowControl(FlowControl):
         if in_ring:
             ctx = packet.current_ctx
             if ctx is not None and ivc.vc == _HIGH:
+                if self.probes.active and not ctx.dl_high:
+                    self.probes.fc_event("dateline_high", ivc.ring_id)
                 ctx.dl_high = True
         else:
             ctx = RingContext(ring_id=ivc.ring_id)

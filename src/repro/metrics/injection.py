@@ -39,7 +39,12 @@ def injection_delay_profile(
     steps: int = 9,
     **kwargs,
 ) -> InjectionDelayReport:
-    """Measure injection delay at the given fractions of saturation."""
+    """Measure injection delay at the given fractions of saturation.
+
+    Extra ``kwargs`` (seeds, ``fc_params``, ``telemetry=`` feature tuples)
+    forward to :func:`~repro.metrics.sweep.run_point`, so the profile rides
+    the same spec/telemetry plumbing as every other harness.
+    """
     sat = saturation_throughput(
         design, topology_factory, pattern_name, config=config, steps=steps, **kwargs
     )

@@ -6,15 +6,23 @@ included, so the latency-throughput curve diverges past saturation);
 throughput is accepted flits per node per cycle over the window; injection
 delay sums the VC-allocation waits a packet suffered at injection and
 dimension-change points.
+
+The collector is a pure telemetry consumer: it subscribes to the network
+probe bus (``packet_ejected``) and accumulates streaming
+:class:`~repro.telemetry.histograms.Histogram` objects, so every derived
+number (mean, p50/p95/p99) uses the repo's one pinned quantile convention
+and merges losslessly across parallel sweep workers.  With width-1 bins
+over integer cycle counts the histogram statistics are bit-identical to
+the raw-list computation this module used to do.
 """
 
 from __future__ import annotations
 
-import statistics
 from dataclasses import dataclass
 
 from ..network.flit import Packet
 from ..network.network import Network
+from ..telemetry.histograms import Histogram
 
 __all__ = ["MeasurementSummary", "MetricsCollector"]
 
@@ -30,11 +38,18 @@ class MeasurementSummary:
     avg_injection_delay: float
     avg_hops: float
     window_cycles: int
+    p50_latency: float = 0.0
+    p95_latency: float = 0.0
+    #: Optional :class:`~repro.telemetry.session.TelemetryReport` attached
+    #: by ``ScenarioSpec.execute`` when the spec requests telemetry.
+    telemetry: object | None = None
 
     def as_row(self) -> dict[str, float]:
         return {
             "packets": self.packets,
             "avg_latency": round(self.avg_latency, 2),
+            "p50_latency": round(self.p50_latency, 2),
+            "p95_latency": round(self.p95_latency, 2),
             "p99_latency": round(self.p99_latency, 2),
             "throughput": round(self.throughput, 4),
             "avg_injection_delay": round(self.avg_injection_delay, 2),
@@ -43,18 +58,23 @@ class MeasurementSummary:
 
 
 class MetricsCollector:
-    """Ejection listener accumulating one measurement window."""
+    """Probe-bus subscriber accumulating one measurement window.
+
+    Subscribes to the ``packet_ejected`` probe (the always-dispatched
+    lifecycle event) and streams samples into mergeable histograms; no
+    engine or router internals are touched.
+    """
 
     def __init__(self, network: Network):
-        self.network = network
+        self.num_nodes = network.topology.num_nodes
         self.measure_start: int | None = None
         self.measure_end: int | None = None
-        self.latencies: list[int] = []
-        self.injection_delays: list[int] = []
-        self.hops: list[int] = []
+        self.latency_hist = Histogram()
+        self.injection_delay_hist = Histogram()
+        self.hops_hist = Histogram()
         self.flits_accepted = 0
         self.packets_accepted = 0
-        network.ejection_listeners.append(self._on_ejected)
+        network.probes.subscribe("packet_ejected", self._on_ejected)
 
     def begin(self, cycle: int) -> None:
         """Start measuring; packets created from now on are samples."""
@@ -73,24 +93,35 @@ class MetricsCollector:
         self.packets_accepted += 1
         if packet.created_cycle >= self.measure_start:
             assert packet.latency is not None
-            self.latencies.append(packet.latency)
-            self.injection_delays.append(packet.injection_delay)
-            self.hops.append(packet.hops)
+            self.latency_hist.record(packet.latency)
+            self.injection_delay_hist.record(packet.injection_delay)
+            self.hops_hist.record(packet.hops)
 
     def summary(self) -> MeasurementSummary:
         if self.measure_start is None or self.measure_end is None:
             raise RuntimeError("measurement window was not opened/closed")
         window = self.measure_end - self.measure_start
-        if not self.latencies:
-            return MeasurementSummary(0, float("inf"), float("inf"), 0.0, 0.0, 0.0, window)
-        lat_sorted = sorted(self.latencies)
-        p99 = lat_sorted[min(len(lat_sorted) - 1, int(0.99 * len(lat_sorted)))]
+        lat = self.latency_hist
+        if not lat.count:
+            return MeasurementSummary(
+                0,
+                float("inf"),
+                float("inf"),
+                0.0,
+                0.0,
+                0.0,
+                window,
+                p50_latency=float("inf"),
+                p95_latency=float("inf"),
+            )
         return MeasurementSummary(
-            packets=len(self.latencies),
-            avg_latency=statistics.fmean(self.latencies),
-            p99_latency=float(p99),
-            throughput=self.flits_accepted / (self.network.topology.num_nodes * window),
-            avg_injection_delay=statistics.fmean(self.injection_delays),
-            avg_hops=statistics.fmean(self.hops),
+            packets=lat.count,
+            avg_latency=lat.mean(),
+            p99_latency=lat.quantile(0.99),
+            throughput=self.flits_accepted / (self.num_nodes * window),
+            avg_injection_delay=self.injection_delay_hist.mean(),
+            avg_hops=self.hops_hist.mean(),
             window_cycles=window,
+            p50_latency=lat.quantile(0.50),
+            p95_latency=lat.quantile(0.95),
         )

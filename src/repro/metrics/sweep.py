@@ -76,6 +76,17 @@ class SweepResult:
             prev = point
         return self.points[-1].injection_rate
 
+    def merged_telemetry(self):
+        """One :class:`~repro.telemetry.session.TelemetryReport` folding the
+        whole curve's per-point reports (counters add, histograms merge);
+        ``None`` when the sweep ran without telemetry."""
+        from ..telemetry.session import merge_reports
+
+        reports = [
+            p.summary.telemetry for p in self.points if p.summary.telemetry
+        ]
+        return merge_reports(reports) if reports else None
+
 
 def scenario_spec(
     design: Design | str,
@@ -90,6 +101,7 @@ def scenario_spec(
     drain: int = 0,
     seed: int = 1,
     fc_params: Mapping | None = None,
+    telemetry=(),
 ) -> ScenarioSpec | None:
     """The :class:`ScenarioSpec` equivalent of these arguments.
 
@@ -124,6 +136,7 @@ def scenario_spec(
             measure=measure,
             drain=drain,
             fc_params=tuple((fc_params or {}).items()),
+            telemetry=telemetry,
         )
     except (ValueError, AttributeError):
         return None
@@ -142,6 +155,7 @@ def run_point(
     drain: int = 0,
     seed: int = 1,
     fc_params: Mapping | None = None,
+    telemetry=(),
 ) -> MeasurementSummary:
     """Simulate one load point and return its measurement summary.
 
@@ -169,6 +183,7 @@ def run_point(
         drain=drain,
         seed=seed,
         fc_params=fc_params,
+        telemetry=telemetry,
     )
     if spec is not None:
         return execute(spec)
@@ -181,6 +196,11 @@ def run_point(
     simulator = Simulator(
         network, workload, watchdog=Watchdog(network, deadlock_window=5_000)
     )
+    session = None
+    if telemetry:
+        from ..telemetry.session import TelemetrySession
+
+        session = TelemetrySession(network, telemetry).attach(simulator)
     simulator.run(warmup)
     collector.begin(simulator.cycle)
     simulator.run(measure)
@@ -188,7 +208,12 @@ def run_point(
     if drain:
         workload.stop()
         simulator.drain(drain)
-    return collector.summary()
+    summary = collector.summary()
+    if session is not None:
+        import dataclasses
+
+        summary = dataclasses.replace(summary, telemetry=session.report())
+    return summary
 
 
 def sweep(
@@ -209,6 +234,10 @@ def sweep(
     spec strings like ``"torus:8x8"`` (or ``functools.partial``
     factories), not lambdas.  With ``REPRO_RESULT_STORE`` set, completed
     points are skipped on re-runs — an interrupted sweep resumes.
+
+    Pass ``telemetry=("counters", ...)`` to collect a telemetry report per
+    point (it rides inside each summary across worker processes);
+    :meth:`SweepResult.merged_telemetry` folds the whole curve's reports.
     """
     name = design if isinstance(design, str) else design.name
     tasks = [

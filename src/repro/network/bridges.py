@@ -58,7 +58,7 @@ class HierarchicalBridges:
         self.delivered: list[SegmentedJourney] = []
         #: Called as fn(journey, cycle) when the final segment arrives.
         self.delivery_listeners: list[Callable[[SegmentedJourney, int], None]] = []
-        network.ejection_listeners.append(self._on_ejected)
+        network.probes.subscribe("packet_ejected", self._on_ejected)
 
     # -- sending -----------------------------------------------------------
 

@@ -9,9 +9,10 @@ it one phase at a time so all routers observe consistent state.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from ..sim.config import SimulationConfig
+from ..telemetry.probes import ProbeBus
 from ..topology.base import LOCAL_PORT, Topology
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only, avoids import cycle
@@ -63,8 +64,11 @@ class Network:
         #: staged, matching ``NIC.backlog``).
         self.buffered_flits = 0
         self.backlog_packets = 0
-        #: Callbacks invoked as ``fn(packet, cycle)`` on every ejection.
-        self.ejection_listeners: list[Callable[[Packet, int], None]] = []
+        #: The telemetry seam: every instrumented call site dispatches into
+        #: this bus.  ``packet_ejected`` always fires (the metrics collector
+        #: subscribes it); all detailed per-flit probes are gated on
+        #: ``probes.active`` so an unobserved simulation stays full speed.
+        self.probes = ProbeBus()
         #: Active sets: per-phase router sets (RC, VA, SA — routers with at
         #: least one VC in that pipeline stage, maintained by the routers'
         #: ``on_vc_state_change``), and NICs with queued packets to stage.
@@ -196,6 +200,8 @@ class Network:
         was_front = not ivc.flits
         ivc.push(flit)
         self.act_buffer_writes += 1
+        if self.probes.active:
+            self.probes.flit_delivered(ivc, flit, cycle)
         self.flow_control.on_slot_filled(ivc, flit)
         if flit.is_head:
             flit.packet.hops += 1
@@ -225,8 +231,7 @@ class Network:
             packet.ejected_cycle = cycle
             self.packets_ejected += 1
             self.flits_in_network -= packet.length
-            for listener in self.ejection_listeners:
-                listener(packet, cycle)
+            self.probes.packet_ejected(packet, cycle)
 
     # -- diagnostics -------------------------------------------------------------------
 

@@ -40,14 +40,19 @@ class NIC:
                 f"configured max_packet_length "
                 f"{self.network.config.max_packet_length}"
             )
+        probes = self.network.probes
         depth = self.network.config.source_queue_depth
         if depth is not None and len(self.queue) >= depth:
             self.packets_dropped += 1
+            if probes.active:
+                probes.packet_offered(self.node, packet, False, packet.created_cycle)
             return False
         self.queue.append(packet)
         self.packets_offered += 1
         self.network.backlog_packets += 1
         self.network.note_nic_pending(self.node, True)
+        if probes.active:
+            probes.packet_offered(self.node, packet, True, packet.created_cycle)
         return True
 
     def load(self, cycle: int) -> None:
@@ -67,6 +72,9 @@ class NIC:
                 slot.owner = packet
                 slot.state = VCState.ROUTING
                 slot.stage_ready = cycle + self.network.config.routing_delay
+                probes = self.network.probes
+                if probes.active:
+                    probes.packet_staged(self.node, packet, cycle)
                 if not self.queue:
                     self.network.note_nic_pending(self.node, False)
                 return

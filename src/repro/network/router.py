@@ -48,6 +48,10 @@ class Router:
     def __init__(self, node: int, network: Network):
         self.node = node
         self.network = network
+        #: The network's probe bus, cached: the hot paths below test
+        #: ``_probes.active`` per event site and that lookup must stay one
+        #: attribute load.
+        self._probes = network.probes
         cfg = network.config
         num_ports = network.topology.num_ports
         #: inputs[port][vc]; the LOCAL port holds the single NIC source queue.
@@ -156,6 +160,8 @@ class Router:
 
     def on_vc_occupancy_change(self, ivc: InputVC, delta: int) -> None:
         """A flit entered/left ``ivc``; maintain the O(1) buffered counter."""
+        if self._probes.active:
+            self._probes.buffer_occupancy(ivc, delta)
         if ivc.port != LOCAL_PORT:
             self.network.buffered_flits += delta
         if ivc.ring_id is not None and ivc.owner is None:
@@ -319,6 +325,8 @@ class Router:
                     self._sa_input_arbiters[ivc.port]._ptr += 1
                     self._sa_output_arbiters[out_port]._ptr += 1  # type: ignore[index]
                     self._send(ivc, cycle)
+                elif self._probes.active:
+                    self._probes.credit_stall(self.node, ivc, cycle)
             return
         eligible_by_port: dict[int, list[InputVC]] = {}
         for ivc in vcs:
@@ -330,6 +338,8 @@ class Router:
                 continue
             out_port = ivc.out_port
             if out_port != LOCAL_PORT and outputs[out_port][ivc.out_vc].credits <= 0:  # type: ignore[index]
+                if self._probes.active:
+                    self._probes.credit_stall(self.node, ivc, cycle)
                 continue
             eligible_by_port.setdefault(ivc.port, []).append(ivc)
         requests: dict[int, list[InputVC]] = {}
@@ -457,6 +467,15 @@ class Router:
         ivc.state = VCState.ACTIVE
         ivc.stage_ready = cycle + 1
         self.network.act_va_grants += 1
+        if self._probes.active:
+            wait = (
+                cycle - ivc.va_first_request
+                if ivc.va_first_request is not None
+                else 0
+            )
+            self._probes.va_grant(
+                self.node, ivc, packet, out_port, out_vc, is_escape_hop, wait, cycle
+            )
 
     # -- SA helpers -------------------------------------------------------------
 
@@ -466,6 +485,8 @@ class Router:
         if ivc.port == LOCAL_PORT and flit.is_head:
             flit.packet.injected_cycle = cycle
             net.flits_in_network += flit.packet.length
+            if self._probes.active:
+                self._probes.packet_injected(self.node, flit.packet, cycle)
         net.act_buffer_reads += 1
         net.act_xbar_traversals += 1
         if ivc.out_port == LOCAL_PORT:
@@ -477,6 +498,8 @@ class Router:
             ovc.take_credit()
             net.schedule_arrival(ovc.downstream, flit, cycle + self._st_link_delay)
             net.act_link_traversals += 1
+        if self._probes.active:
+            self._probes.flit_sent(self.node, ivc, flit, cycle)
         atomic = self._atomic
         if ivc.feeder is not None:
             net.schedule_credit(

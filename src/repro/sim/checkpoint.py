@@ -111,7 +111,18 @@ class ResultStore:
             self.misses += 1
             return None
         self.hits += 1
-        return MeasurementSummary(**record["summary"])
+        data = dict(record["summary"])
+        telemetry = data.pop("telemetry", None)
+        summary = MeasurementSummary(**data)
+        if telemetry is not None:
+            import dataclasses
+
+            from ..telemetry.session import TelemetryReport
+
+            summary = dataclasses.replace(
+                summary, telemetry=TelemetryReport.from_dict(telemetry)
+            )
+        return summary
 
     def put(self, spec: "ScenarioSpec", summary: "MeasurementSummary") -> None:
         import dataclasses

@@ -3,96 +3,13 @@
 Used when the deadlock watchdog trips — both as a debugging aid during
 development and in the negative-control experiments, where explaining the
 cyclic wait is the point.
+
+The implementation lives in :mod:`repro.telemetry.inspect` (the pull side
+of the telemetry seam); this module is the stable import location.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
-
-from ..network.buffers import VCState
-from ..topology.base import LOCAL_PORT
-
-if TYPE_CHECKING:  # pragma: no cover
-    from ..network.network import Network
+from ..telemetry.inspect import blocked_heads, format_blocked_heads
 
 __all__ = ["blocked_heads", "format_blocked_heads"]
-
-
-def blocked_heads(network: "Network") -> list[dict]:
-    """One record per head flit stuck in WAITING_VA, with denial reasons."""
-    fc = network.flow_control
-    cfg = network.config
-    out = []
-    for router in network.routers:
-        for port_list in router.inputs:
-            for ivc in port_list:
-                if ivc.state is not VCState.WAITING_VA or not ivc.flits:
-                    continue
-                packet = ivc.flits[0].packet
-                adaptive_ports, escape_port = ivc.route_candidates
-                reasons = []
-                if escape_port == LOCAL_PORT:
-                    reasons.append("ejecting (should not block)")
-                else:
-                    if cfg.num_adaptive_vcs:
-                        free = [
-                            port
-                            for port in adaptive_ports
-                            if router.outputs[port] is not None
-                            and any(
-                                router._ovc_admits(router.outputs[port][v], packet)
-                                for v in range(cfg.num_escape_vcs, cfg.num_vcs)
-                            )
-                        ]
-                        reasons.append(
-                            f"adaptive free ports={free or 'none'}"
-                        )
-                    outs = router.outputs[escape_port]
-                    in_ring = fc.is_in_ring_move(ivc, router.node, escape_port)
-                    for vc in fc.escape_vc_choices(packet, router.node, escape_port, in_ring):
-                        ovc = outs[vc]
-                        if not router._ovc_admits(ovc, packet):
-                            reasons.append(
-                                f"esc vc{vc}: not admitted (alloc="
-                                f"{ovc.allocated_to.pid if ovc.allocated_to else None},"
-                                f" credits={ovc.credits})"
-                            )
-                        else:
-                            down = ovc.downstream
-                            reasons.append(
-                                f"esc vc{vc}: flow control denies "
-                                f"(color={down.color.name}, ring={down.ring_id}, "
-                                f"in_ring={in_ring})"
-                            )
-                ctx = packet.current_ctx
-                out.append(
-                    {
-                        "node": router.node,
-                        "buffer": ivc.label(),
-                        "pid": packet.pid,
-                        "len": packet.length,
-                        "dst": packet.dst,
-                        "escape_port": escape_port,
-                        "in_ring_src": ivc.ring_id,
-                        "ctx": (
-                            (ctx.ring_id, ctx.ch, ctx.flits_entered, ctx.holds_gray)
-                            if ctx
-                            else None
-                        ),
-                        "reasons": reasons,
-                    }
-                )
-    return out
-
-
-def format_blocked_heads(network: "Network", limit: int = 40) -> str:
-    """Human-readable wedge report."""
-    records = blocked_heads(network)
-    lines = [f"{len(records)} blocked heads"]
-    for r in records[:limit]:
-        lines.append(
-            f"  n{r['node']} {r['buffer']} p{r['pid']} len{r['len']} -> dst "
-            f"{r['dst']} via port {r['escape_port']} ctx={r['ctx']}: "
-            + "; ".join(r["reasons"])
-        )
-    return "\n".join(lines)

@@ -50,6 +50,8 @@ class Simulator:
         self.cycle = 0
         #: Called as ``fn(cycle)`` after each cycle (metrics hooks).
         self.cycle_listeners: list[Callable[[int], None]] = []
+        #: Attached :class:`~repro.telemetry.session.TelemetrySession`, if any.
+        self.telemetry = None
         #: Opt-in invariant auditor (``SimConfig.sanitize`` or
         #: ``REPRO_SANITIZE=1``); ``None`` — and zero per-cycle cost —
         #: when disabled, since nothing joins ``cycle_listeners`` and the

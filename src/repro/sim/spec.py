@@ -92,6 +92,10 @@ class ScenarioSpec:
     #: Flow-control constructor keywords (e.g. WBFC's ``reclaim_patience``)
     #: as sorted ``(key, value)`` pairs so the spec stays hashable.
     fc_params: tuple = ()
+    #: Telemetry features to collect (``repro.telemetry.FEATURES`` names or
+    #: ``"full"``); empty means the probe bus stays inactive.  Folded into
+    #: :meth:`content_hash` — a telemetry-on result is a different artifact.
+    telemetry: tuple = ()
 
     def __post_init__(self) -> None:
         if self.injection_rate < 0:
@@ -100,6 +104,9 @@ class ScenarioSpec:
             raise ValueError("warmup/measure/drain must be >= 0")
         object.__setattr__(self, "lengths", tuple(self.lengths))
         object.__setattr__(self, "fc_params", _params_tuple(self.fc_params))
+        from ..telemetry.session import normalize_features
+
+        object.__setattr__(self, "telemetry", normalize_features(self.telemetry))
 
     # -- serialization -------------------------------------------------------
 
@@ -119,6 +126,7 @@ class ScenarioSpec:
             "measure": self.measure,
             "drain": self.drain,
             "fc_params": [[k, v] for k, v in self.fc_params],
+            "telemetry": list(self.telemetry),
         }
 
     @classmethod
@@ -130,6 +138,7 @@ class ScenarioSpec:
             config=SimulationConfig(**cfg),
             lengths=tuple(data.pop("lengths")),
             fc_params=tuple((k, v) for k, v in data.pop("fc_params", [])),
+            telemetry=tuple(data.pop("telemetry", [])),
             **data,
         )
 
@@ -155,6 +164,9 @@ class PreparedScenario:
     workload: Any
     collector: "MetricsCollector"
     simulator: "Simulator"
+    #: Attached :class:`~repro.telemetry.session.TelemetrySession` when the
+    #: spec requested telemetry features; ``None`` otherwise.
+    telemetry: Any = None
 
 
 def prepare(spec: ScenarioSpec, *, watchdog: Any = None) -> PreparedScenario:
@@ -191,7 +203,14 @@ def prepare(spec: ScenarioSpec, *, watchdog: Any = None) -> PreparedScenario:
     elif callable(watchdog) and not isinstance(watchdog, Watchdog):
         watchdog = watchdog(network)
     simulator = Simulator(network, workload, watchdog=watchdog)
-    return PreparedScenario(spec, topology, network, workload, collector, simulator)
+    telemetry = None
+    if spec.telemetry:
+        from ..telemetry.session import TelemetrySession
+
+        telemetry = TelemetrySession(network, spec.telemetry).attach(simulator)
+    return PreparedScenario(
+        spec, topology, network, workload, collector, simulator, telemetry
+    )
 
 
 def execute(
@@ -226,6 +245,8 @@ def execute(
         prepared.workload.stop()
         simulator.drain(spec.drain)
     summary = collector.summary()
+    if prepared.telemetry is not None:
+        summary = dataclasses.replace(summary, telemetry=prepared.telemetry.report())
     _STATS["simulated"] += 1
     if store is not None:
         store.put(spec, summary)

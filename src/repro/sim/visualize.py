@@ -5,54 +5,38 @@ one character per buffer (``W``/``G``/``B`` for empty bubbles by color,
 ``o`` for buffers holding flits, ``a`` for allocated-but-empty gaps inside
 a stretched worm).  These helpers power the examples and debugging
 sessions and double as cheap golden-state assertions in tests.
+
+All state reads go through :mod:`repro.telemetry.inspect` — this module
+only renders the structured views as text.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..core.colors import WBColor
+from ..telemetry.inspect import buffer_glyph, ring_buffer_view, ring_glyphs
 
 if TYPE_CHECKING:  # pragma: no cover
-    from ..network.buffers import InputVC
     from ..network.network import Network
 
 __all__ = ["buffer_glyph", "ring_state", "render_ring", "RingTimeline"]
 
-_GLYPHS = {WBColor.WHITE: "W", WBColor.GRAY: "G", WBColor.BLACK: "B"}
-
-
-def buffer_glyph(ivc: "InputVC") -> str:
-    """One-character summary of a ring buffer."""
-    if ivc.flits:
-        return "o"
-    if ivc.owner is not None:
-        return "a"
-    return _GLYPHS[ivc.color]
-
 
 def ring_state(network: "Network", ring_id: str) -> str:
     """The ring's buffers in traversal order, one glyph each."""
-    fc = network.flow_control
-    buffers = getattr(fc, "ring_buffers", {}).get(ring_id)
-    if buffers is None:
-        raise KeyError(f"unknown ring {ring_id!r}")
-    return "".join(buffer_glyph(b) for b in buffers)
+    return ring_glyphs(network, ring_id)
 
 
 def render_ring(network: "Network", ring_id: str) -> str:
     """Multi-line ring dump with occupants and counters."""
-    fc = network.flow_control
-    buffers = getattr(fc, "ring_buffers", {}).get(ring_id)
-    if buffers is None:
-        raise KeyError(f"unknown ring {ring_id!r}")
-    lines = [f"ring {ring_id}: {ring_state(network, ring_id)}"]
-    for pos, ivc in enumerate(buffers):
-        occupants = ",".join(str(f.packet.pid) for f in ivc.flits) or "-"
-        ci = getattr(fc, "ci", {}).get((ivc.node, ring_id), "")
+    view = ring_buffer_view(network, ring_id)
+    lines = [f"ring {ring_id}: {''.join(r['glyph'] for r in view)}"]
+    for pos, r in enumerate(view):
+        occupants = ",".join(str(pid) for pid in r["occupants"]) or "-"
+        ci = r["ci"] if r["ci"] is not None else ""
         lines.append(
-            f"  [{pos}] {ivc.label():<12} {buffer_glyph(ivc)} "
-            f"flits={occupants:<12} ci@{ivc.node}={ci}"
+            f"  [{pos}] {r['label']:<12} {r['glyph']} "
+            f"flits={occupants:<12} ci@{r['node']}={ci}"
         )
     return "\n".join(lines)
 
@@ -74,7 +58,7 @@ class RingTimeline:
         self.frames: list[tuple[int, str]] = []
 
     def __call__(self, cycle: int) -> None:
-        state = ring_state(self.network, self.ring_id)
+        state = ring_glyphs(self.network, self.ring_id)
         if not self.frames or self.frames[-1][1] != state:
             self.frames.append((cycle, state))
 

@@ -1,0 +1,57 @@
+"""Unified telemetry seam: probe bus, sinks, exporters, and inspectors.
+
+Every measurement in this repo flows through one of two channels:
+
+* **Push** — the :class:`~repro.telemetry.probes.ProbeBus` on
+  ``network.probes``, into which instrumented call sites (NIC, router,
+  buffers, flow controls) dispatch typed probe events.  Subscribe a
+  callback or a :class:`~repro.telemetry.probes.ProbeSink`; when nothing
+  detailed is subscribed the probes are no-ops (bit-identical results,
+  ≤2% overhead — enforced by the CI bench guard).
+* **Pull** — :mod:`repro.telemetry.inspect`, read-only structured views of
+  live state (ring token layouts, color censuses, blocked-head reports)
+  that diagnostics and visualization present.
+
+:class:`TelemetrySession` bundles the standard sinks per feature
+(``counters``, ``histograms``, ``timeseries``, ``trace``) and renders a
+mergeable, JSON-plain :class:`TelemetryReport`.  Scenario specs request
+features declaratively via ``ScenarioSpec(telemetry=("counters", ...))``.
+"""
+
+from .histograms import Histogram, nearest_rank_index, quantile_sorted
+from .probes import PROBE_EVENTS, ProbeBus, ProbeSink
+from .session import (
+    FEATURES,
+    TelemetryReport,
+    TelemetrySession,
+    merge_reports,
+    normalize_features,
+)
+from .sinks import CounterSink, HistogramSink, TimeSeriesSampler
+from .trace import (
+    ChromeTraceSink,
+    trace_document,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "PROBE_EVENTS",
+    "ProbeBus",
+    "ProbeSink",
+    "Histogram",
+    "nearest_rank_index",
+    "quantile_sorted",
+    "CounterSink",
+    "HistogramSink",
+    "TimeSeriesSampler",
+    "ChromeTraceSink",
+    "trace_document",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "FEATURES",
+    "TelemetryReport",
+    "TelemetrySession",
+    "merge_reports",
+    "normalize_features",
+]

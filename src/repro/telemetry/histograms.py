@@ -1,0 +1,133 @@
+"""Streaming fixed-bin histograms and the repo's one quantile convention.
+
+Quantile convention (pinned)
+----------------------------
+Every quantile this repo reports uses **upper nearest-rank on the sorted
+sample**: for ``n`` values and quantile ``q``, the reported value is
+``sorted_values[min(n - 1, int(q * n))]``.  This is exactly what
+``metrics/stats.py`` has always computed for p99, now standardized (and
+exact-value-tested) for every percentile.  No interpolation: the result
+is always an observed value, deterministic, and independent of float
+summation order.
+
+:class:`Histogram` is the streaming, *mergeable* form: fixed-width bins
+grown on demand.  With ``bin_width=1`` over integer samples (cycle counts,
+hop counts — everything this simulator measures), its quantiles and mean
+are **bit-identical** to the sorted-list computation, while two histograms
+from different sweep workers merge by adding counts — merging is
+associative and commutative, so parallel fan-out order can never change a
+reported number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["nearest_rank_index", "quantile_sorted", "Histogram"]
+
+
+def nearest_rank_index(n: int, q: float) -> int:
+    """Index of quantile ``q`` in a sorted sample of ``n`` values."""
+    if n <= 0:
+        raise ValueError("quantile of an empty sample")
+    return min(n - 1, int(q * n))
+
+
+def quantile_sorted(sorted_values: Sequence, q: float) -> float:
+    """Quantile ``q`` of an already-sorted sample (the pinned convention)."""
+    return float(sorted_values[nearest_rank_index(len(sorted_values), q)])
+
+
+@dataclass
+class Histogram:
+    """Growable fixed-bin histogram of non-negative integer samples.
+
+    ``counts[i]`` holds the samples in ``[i * bin_width, (i+1) * bin_width)``.
+    ``value_sum`` accumulates the exact integer sample sum, so :meth:`mean`
+    is exact (not bin-quantized) and, for integer data, equal to
+    ``statistics.fmean`` of the raw samples.
+    """
+
+    bin_width: int = 1
+    counts: list = field(default_factory=list)
+    count: int = 0
+    value_sum: int = 0
+
+    def record(self, value: int) -> None:
+        """Add one sample."""
+        if value < 0:
+            raise ValueError(f"histogram sample must be >= 0, got {value}")
+        idx = value // self.bin_width
+        counts = self.counts
+        if idx >= len(counts):
+            counts.extend([0] * (idx + 1 - len(counts)))
+        counts[idx] += 1
+        self.count += 1
+        self.value_sum += value
+
+    def mean(self) -> float:
+        return self.value_sum / self.count
+
+    def quantile(self, q: float) -> float:
+        """Quantile per the pinned convention, on bin lower edges.
+
+        With ``bin_width=1`` over integers this equals
+        :func:`quantile_sorted` of the raw samples exactly.
+        """
+        rank = nearest_rank_index(self.count, q)
+        seen = 0
+        for idx, c in enumerate(self.counts):
+            seen += c
+            if seen > rank:
+                return float(idx * self.bin_width)
+        raise AssertionError("rank beyond histogram total")  # pragma: no cover
+
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """New histogram holding both samples; widths must match."""
+        if self.bin_width != other.bin_width:
+            raise ValueError(
+                f"cannot merge histograms of widths {self.bin_width} and "
+                f"{other.bin_width}"
+            )
+        a, b = self.counts, other.counts
+        if len(a) < len(b):
+            a, b = b, a
+        counts = list(a)
+        for i, c in enumerate(b):
+            counts[i] += c
+        return Histogram(
+            bin_width=self.bin_width,
+            counts=counts,
+            count=self.count + other.count,
+            value_sum=self.value_sum + other.value_sum,
+        )
+
+    @classmethod
+    def merge_all(cls, histograms: Iterable["Histogram"]) -> "Histogram":
+        """Fold any number of histograms (empty input -> empty histogram)."""
+        out: Histogram | None = None
+        for h in histograms:
+            out = h if out is None else out.merge(h)
+        return out if out is not None else cls()
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "bin_width": self.bin_width,
+            "counts": list(self.counts),
+            "count": self.count,
+            "value_sum": self.value_sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        return cls(
+            bin_width=data["bin_width"],
+            counts=list(data["counts"]),
+            count=data["count"],
+            value_sum=data["value_sum"],
+        )

@@ -1,0 +1,179 @@
+"""Standard probe sinks: counters, histograms, periodic time series.
+
+All three produce JSON-plain data (string keys, ints/floats/lists only) so
+their output rides inside :class:`~repro.metrics.stats.MeasurementSummary`
+records through the result store and across process-pool workers
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..topology.base import LOCAL_PORT
+from .histograms import Histogram
+from .inspect import ring_color_census, ring_ids
+from .probes import ProbeSink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+
+__all__ = ["CounterSink", "HistogramSink", "TimeSeriesSampler"]
+
+
+class CounterSink(ProbeSink):
+    """Per-router, per-link, per-VC and flow-control event counters.
+
+    Everything is a plain ``dict[str, dict[str, int]]`` keyed by stable
+    string labels (``"7"`` for node 7, ``"n7>p2"`` for node 7's output
+    port 2, ``ivc.label()`` for a VC), merged across workers by addition.
+    """
+
+    def __init__(self) -> None:
+        #: node label -> event name -> count
+        self.router: dict[str, dict[str, int]] = {}
+        #: "n{node}>p{port}" -> flit traversals entering that link
+        self.link: dict[str, int] = {}
+        #: ivc label -> buffer writes
+        self.vc_writes: dict[str, int] = {}
+        #: ivc label -> peak simultaneous occupancy observed
+        self.vc_peak: dict[str, int] = {}
+        #: "{ring_id}:{reason}" -> worm-bubble color transitions
+        self.wb: dict[str, int] = {}
+        #: "{ring_id}:{reason}" -> CI counter updates (event counts)
+        self.ci_events: dict[str, int] = {}
+        #: scheme-specific event name -> count
+        self.fc: dict[str, int] = {}
+        self._occ: dict[str, int] = {}
+
+    def _bump(self, node: int, event: str, by: int = 1) -> None:
+        per = self.router.setdefault(str(node), {})
+        per[event] = per.get(event, 0) + by
+
+    # -- probe methods ------------------------------------------------------
+
+    def packet_offered(self, node, packet, accepted, cycle) -> None:
+        self._bump(node, "packets_offered" if accepted else "packets_dropped")
+
+    def packet_staged(self, node, packet, cycle) -> None:
+        self._bump(node, "packets_staged")
+
+    def packet_injected(self, node, packet, cycle) -> None:
+        self._bump(node, "packets_injected")
+
+    def packet_ejected(self, packet, cycle) -> None:
+        self._bump(packet.dst, "packets_ejected")
+
+    def flit_delivered(self, ivc, flit, cycle) -> None:
+        self._bump(ivc.node, "flits_received")
+
+    def flit_sent(self, node, ivc, flit, cycle) -> None:
+        self._bump(node, "flits_sent")
+        if ivc.out_port != LOCAL_PORT:
+            key = f"n{node}>p{ivc.out_port}"
+            self.link[key] = self.link.get(key, 0) + 1
+
+    def va_grant(self, node, ivc, packet, out_port, out_vc, escape, wait, cycle) -> None:
+        self._bump(node, "va_grants")
+        if escape:
+            self._bump(node, "va_escape_grants")
+
+    def credit_stall(self, node, ivc, cycle) -> None:
+        self._bump(node, "credit_stalls")
+
+    def buffer_occupancy(self, ivc, delta) -> None:
+        label = ivc.label()
+        occ = self._occ.get(label, 0) + delta
+        self._occ[label] = occ
+        if delta > 0:
+            self.vc_writes[label] = self.vc_writes.get(label, 0) + 1
+            if occ > self.vc_peak.get(label, 0):
+                self.vc_peak[label] = occ
+
+    def wb_color(self, ivc, old, new, reason) -> None:
+        key = f"{ivc.ring_id}:{reason}"
+        self.wb[key] = self.wb.get(key, 0) + 1
+
+    def ci_update(self, node, ring_id, delta, reason) -> None:
+        key = f"{ring_id}:{reason}"
+        self.ci_events[key] = self.ci_events.get(key, 0) + 1
+
+    def fc_event(self, name, key) -> None:
+        self.fc[name] = self.fc.get(name, 0) + 1
+
+    # -- export ------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-plain counter groups (see class docstring)."""
+        return {
+            "router": {node: dict(per) for node, per in self.router.items()},
+            "link": dict(self.link),
+            "vc_writes": dict(self.vc_writes),
+            "vc_peak": dict(self.vc_peak),
+            "wb": dict(self.wb),
+            "ci": dict(self.ci_events),
+            "fc": dict(self.fc),
+        }
+
+
+class HistogramSink(ProbeSink):
+    """Streaming latency/queueing-delay/injection-delay/hops histograms.
+
+    Samples every packet ejected while attached (the whole attachment, not
+    just a measurement window — window-scoped statistics stay the job of
+    :class:`~repro.metrics.stats.MetricsCollector`, which shares the same
+    histogram and quantile implementation).
+    """
+
+    def __init__(self, bin_width: int = 1) -> None:
+        self.latency = Histogram(bin_width)
+        #: Source queueing + injection wait: creation to head injection.
+        self.queueing_delay = Histogram(bin_width)
+        self.injection_delay = Histogram(bin_width)
+        self.hops = Histogram(1)
+
+    def packet_ejected(self, packet, cycle) -> None:
+        if packet.latency is None or packet.injected_cycle is None:
+            return
+        self.latency.record(packet.latency)
+        self.queueing_delay.record(packet.injected_cycle - packet.created_cycle)
+        self.injection_delay.record(packet.injection_delay)
+        self.hops.record(packet.hops)
+
+    def as_dict(self) -> dict[str, Histogram]:
+        return {
+            "latency": self.latency,
+            "queueing_delay": self.queueing_delay,
+            "injection_delay": self.injection_delay,
+            "hops": self.hops,
+        }
+
+
+class TimeSeriesSampler:
+    """Periodic occupancy and worm-bubble color-census sampler.
+
+    Not a probe sink: attach as a simulator cycle listener (``fn(cycle)``).
+    Every ``interval`` cycles it records the O(1) occupancy counters and,
+    for each ring, the color census.  Census reads flush deferred WBFC
+    lane rotations, which is semantically transparent (bit-identity is
+    pinned by test).
+    """
+
+    def __init__(self, network: "Network", interval: int = 64):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.network = network
+        self.interval = interval
+        self.samples: list[dict] = []
+        self._rings = ring_ids(network)
+
+    def __call__(self, cycle: int) -> None:
+        if cycle % self.interval:
+            return
+        sample = dict(self.network.occupancy_snapshot())
+        sample["cycle"] = cycle
+        if self._rings:
+            sample["rings"] = {
+                rid: ring_color_census(self.network, rid) for rid in self._rings
+            }
+        self.samples.append(sample)

@@ -1,0 +1,150 @@
+"""Chrome-trace (``chrome://tracing`` / Perfetto JSON) flit-lifecycle export.
+
+The exporter emits the Trace Event Format's JSON-object form: one process
+per router node, async begin/end pairs spanning each packet's life from
+NIC staging to ejection (paired across nodes by ``id``), and complete
+(``"X"``) events for individual flit switch+link traversals.  Load the
+written file in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Tracing records every flit movement, so it is meant for short runs; the
+``trace`` feature is opt-in per :class:`~repro.sim.spec.ScenarioSpec` and
+trace events are *not* merged across sweep points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING
+
+from .probes import ProbeSink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+
+__all__ = ["ChromeTraceSink", "trace_document", "write_chrome_trace", "validate_chrome_trace"]
+
+#: Event phases the exporter emits (a subset of the Trace Event Format).
+_EMITTED_PHASES = {"b", "e", "X", "M"}
+
+
+class ChromeTraceSink(ProbeSink):
+    """Collect packet/flit lifecycle probe events as Chrome trace events."""
+
+    def __init__(self, network: "Network"):
+        self._st_link_delay = network.config.st_link_delay
+        self.events: list[dict] = []
+
+    def packet_staged(self, node, packet, cycle) -> None:
+        self.events.append(
+            {
+                "name": f"pkt{packet.pid}",
+                "cat": "packet",
+                "ph": "b",
+                "id": packet.pid,
+                "ts": cycle,
+                "pid": node,
+                "tid": 0,
+                "args": {
+                    "src": packet.src,
+                    "dst": packet.dst,
+                    "length": packet.length,
+                },
+            }
+        )
+
+    def packet_ejected(self, packet, cycle) -> None:
+        self.events.append(
+            {
+                "name": f"pkt{packet.pid}",
+                "cat": "packet",
+                "ph": "e",
+                "id": packet.pid,
+                "ts": cycle,
+                "pid": packet.dst,
+                "tid": 0,
+                "args": {"latency": packet.latency, "hops": packet.hops},
+            }
+        )
+
+    def flit_sent(self, node, ivc, flit, cycle) -> None:
+        self.events.append(
+            {
+                "name": f"p{flit.packet.pid}.f{flit.index}",
+                "cat": "flit",
+                "ph": "X",
+                "ts": cycle,
+                "dur": self._st_link_delay,
+                "pid": node,
+                # Thread lane = the input VC's deterministic scan position,
+                # so concurrent VCs of one router render as parallel rows.
+                "tid": ivc.order,
+                "args": {
+                    "from": ivc.label(),
+                    "out_port": ivc.out_port,
+                    "out_vc": ivc.out_vc,
+                },
+            }
+        )
+
+
+def trace_document(network: "Network", events: list[dict]) -> dict:
+    """The full trace JSON object for ``events`` captured on ``network``."""
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": node,
+            "tid": 0,
+            "args": {"name": f"router {node}"},
+        }
+        for node in range(network.topology.num_nodes)
+    ]
+    return {
+        "traceEvents": metadata + list(events),
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "time_unit": "cycles",
+        },
+    }
+
+
+def write_chrome_trace(
+    network: "Network", events: list[dict], path: str | os.PathLike
+) -> int:
+    """Write the trace JSON to ``path``; returns the event count written."""
+    doc = trace_document(network, events)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return len(doc["traceEvents"])
+
+
+def validate_chrome_trace(doc: dict) -> int:
+    """Schema-check a trace document; returns its event count.
+
+    Raises ``ValueError`` on the first malformed event.  Checks the JSON
+    object form's requirements: a ``traceEvents`` list whose entries carry
+    ``name``/``ph``/``ts``/``pid``/``tid``, a known phase, non-negative
+    integer timestamps, a ``dur`` on complete events and an ``id`` on
+    async events.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"event {i} missing {key!r}: {ev!r}")
+        if ev["ph"] not in _EMITTED_PHASES:
+            raise ValueError(f"event {i} has unknown phase {ev['ph']!r}")
+        if not isinstance(ev["ts"], int) or ev["ts"] < 0:
+            raise ValueError(f"event {i} has bad ts {ev['ts']!r}")
+        if ev["ph"] == "X" and not isinstance(ev.get("dur"), int):
+            raise ValueError(f"complete event {i} missing integer dur")
+        if ev["ph"] in ("b", "e") and "id" not in ev:
+            raise ValueError(f"async event {i} missing id")
+    return len(events)

@@ -131,7 +131,7 @@ class CoherenceWorkload:
         #: (ready_cycle, packet) pairs modeling L2/memory service latency.
         self._service_queue: list[tuple[int, Packet]] = []
         self.memory_controllers = self._corner_nodes()
-        network.ejection_listeners.append(self._on_delivered)
+        network.probes.subscribe("packet_ejected", self._on_delivered)
         self.finished_cycle: int | None = None
 
     # -- topology helpers -------------------------------------------------------

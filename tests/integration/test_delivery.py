@@ -26,7 +26,7 @@ def test_every_offered_packet_arrives(design):
 def test_packets_arrive_at_their_destination():
     net = build_network("WBFC-2VC", Torus((4, 4)))
     seen = []
-    net.ejection_listeners.append(lambda p, c: seen.append(p))
+    net.probes.subscribe("packet_ejected", lambda p, c: seen.append(p))
     run_traffic(net, 0.2, 3_000, seed=2)
     assert len(seen) > 200
     # Network._eject raises on misrouting; verify bookkeeping here too.
@@ -40,7 +40,7 @@ def test_minimal_routing_hop_counts():
     net = build_network("WBFC-1VC", Torus((4, 4)))
     topo = net.topology
     seen = []
-    net.ejection_listeners.append(lambda p, c: seen.append(p))
+    net.probes.subscribe("packet_ejected", lambda p, c: seen.append(p))
     run_traffic(net, 0.05, 3_000, seed=2)
     assert seen
     for p in seen:
@@ -53,7 +53,7 @@ def test_adaptive_routing_is_still_minimal():
     net = build_network("WBFC-3VC", Torus((4, 4)))
     topo = net.topology
     seen = []
-    net.ejection_listeners.append(lambda p, c: seen.append(p))
+    net.probes.subscribe("packet_ejected", lambda p, c: seen.append(p))
     run_traffic(net, 0.4, 3_000, seed=2)
     assert seen
     for p in seen:
@@ -95,6 +95,6 @@ def test_latency_monotonic_in_load():
 def test_bimodal_lengths_delivered_intact():
     net = build_network("DL-2VC", Torus((4, 4)))
     lengths = []
-    net.ejection_listeners.append(lambda p, c: lengths.append(p.length))
+    net.probes.subscribe("packet_ejected", lambda p, c: lengths.append(p.length))
     run_traffic(net, 0.2, 2_500, lengths=BimodalLength(), seed=4)
     assert set(lengths) == {1, 5}

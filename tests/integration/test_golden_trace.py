@@ -65,7 +65,7 @@ GOLDEN_TORUS_4X4_SUM_LATENCY = 17899
 
 def _trace(network, workload, cycles):
     trace = []
-    network.ejection_listeners.append(
+    network.probes.subscribe("packet_ejected", 
         lambda p, c: trace.append(
             (p.pid, p.src, p.dst, p.created_cycle, p.injected_cycle, c)
         )

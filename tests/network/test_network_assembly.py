@@ -54,7 +54,7 @@ class TestEventPlumbing:
     def test_ejection_listener_called_once_per_packet(self):
         net = make_torus_network()
         seen = []
-        net.ejection_listeners.append(lambda p, c: seen.append(p.pid))
+        net.probes.subscribe("packet_ejected", lambda p, c: seen.append(p.pid))
         p = Packet(pid=7, src=0, dst=2, length=5)
         net.nics[0].offer(p)
         Simulator(net).run(60)

@@ -1,0 +1,95 @@
+"""Telemetry must be observationally free: identical simulated behavior.
+
+Runs the same scenario with telemetry off and fully on, across every
+flow-control family, and requires the measurement summaries to be equal
+field-for-field — not approximately, bit-identically.  This pins the two
+design rules of the seam: detailed probes are behind ``probes.active``
+guards with no side effects, and pull-side reads (color censuses flushing
+deferred WBFC lane rotations) are semantically transparent.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.spec import ScenarioSpec, execute
+
+DESIGNS = ["WBFC-1VC", "WBFC-2VC", "WBFC-3VC", "DL-2VC", "CBS-1VC", "WBFC-FLIT-1VC"]
+
+
+def _spec(design, telemetry=(), **overrides):
+    kwargs = dict(
+        design=design,
+        topology="torus:4x4",
+        injection_rate=0.25,
+        seed=7,
+        warmup=200,
+        measure=900,
+        telemetry=telemetry,
+    )
+    if design in ("CBS-1VC", "WBFC-FLIT-1VC"):
+        from repro.network.switching import Switching
+        from repro.sim.config import SimulationConfig
+
+        kwargs["config"] = SimulationConfig(
+            num_vcs=1, buffer_depth=8, switching=Switching.WORMHOLE_NONATOMIC
+        )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+@pytest.mark.parametrize("design", DESIGNS)
+def test_full_telemetry_is_bit_identical(design):
+    off = execute(_spec(design))
+    on = execute(_spec(design, telemetry="full"))
+    assert on.telemetry is not None and off.telemetry is None
+    assert dataclasses.replace(on, telemetry=None) == off
+
+
+def test_timeseries_census_reads_are_transparent():
+    # The sampler reads InputVC.color every interval, materializing WBFC's
+    # deferred lane rotations mid-run; the trajectory may not change.
+    off = execute(_spec("WBFC-1VC", injection_rate=0.05))
+    on = execute(_spec("WBFC-1VC", injection_rate=0.05, telemetry="timeseries"))
+    assert on.telemetry.series, "sampler collected nothing"
+    assert dataclasses.replace(on, telemetry=None) == off
+
+
+def test_collector_matches_raw_probe_samples():
+    # The histogram-backed collector reports exactly what a raw listener
+    # would compute with sorted lists — mean and pinned quantiles alike.
+    import statistics
+
+    from repro.sim.spec import prepare
+    from repro.telemetry.histograms import quantile_sorted
+
+    spec = _spec("WBFC-1VC")
+    prepared = prepare(spec)
+    raw = []
+    prepared.network.probes.subscribe(
+        "packet_ejected",
+        lambda p, c: raw.append(p) if c >= spec.warmup else None,
+    )
+    sim, coll = prepared.simulator, prepared.collector
+    sim.run(spec.warmup)
+    coll.begin(sim.cycle)
+    sim.run(spec.measure)
+    coll.end(sim.cycle)
+    summary = coll.summary()
+    lats = sorted(
+        p.latency for p in raw if p.created_cycle >= spec.warmup
+    )
+    assert summary.packets == len(lats)
+    assert summary.avg_latency == statistics.fmean(lats)
+    assert summary.p50_latency == quantile_sorted(lats, 0.50)
+    assert summary.p95_latency == quantile_sorted(lats, 0.95)
+    assert summary.p99_latency == quantile_sorted(lats, 0.99)
+
+
+def test_empty_window_reports_infinities():
+    summary = execute(_spec("WBFC-1VC", injection_rate=0.0))
+    assert summary.packets == 0
+    assert summary.avg_latency == float("inf")
+    assert summary.p50_latency == float("inf")
+    assert summary.p95_latency == float("inf")
+    assert summary.p99_latency == float("inf")

@@ -1,0 +1,92 @@
+"""Counter sink totals against the network's own activity counters."""
+
+from repro.experiments.designs import build_network
+from repro.sim.deadlock import Watchdog
+from repro.sim.engine import Simulator
+from repro.telemetry import TelemetrySession
+from repro.topology.torus import Torus
+from repro.traffic.generator import SyntheticTraffic
+from repro.traffic.patterns import make_pattern
+
+
+def _run(design="WBFC-1VC", rate=0.25, cycles=1_000, features=("counters",)):
+    net = build_network(design, Torus((4, 4)))
+    workload = SyntheticTraffic(
+        make_pattern("UR", net.topology), rate, seed=9
+    )
+    sim = Simulator(net, workload, watchdog=Watchdog(net, deadlock_window=5_000))
+    session = TelemetrySession(net, features).attach(sim)
+    sim.run(cycles)
+    return net, sim, session
+
+
+def test_router_counters_match_network_activity():
+    net, _, session = _run()
+    counters = session.counters
+    totals = {}
+    for per in counters.router.values():
+        for event, count in per.items():
+            totals[event] = totals.get(event, 0) + count
+    assert totals["va_grants"] == net.act_va_grants
+    assert totals["flits_sent"] == net.act_xbar_traversals
+    assert totals["flits_received"] == net.act_buffer_writes
+    assert totals["packets_offered"] == sum(
+        nic.packets_offered for nic in net.nics
+    )
+    # Every flit sent toward a non-local port entered exactly one link.
+    assert sum(counters.link.values()) == net.act_link_traversals
+    # Occupancy-delta writes split into NIC staging (LOCAL port, "/p0/")
+    # and link deliveries; the latter equal the network's write counter.
+    delivered_writes = sum(
+        count
+        for label, count in counters.vc_writes.items()
+        if "/p0/" not in label
+    )
+    assert delivered_writes == net.act_buffer_writes
+
+
+def test_wb_and_ci_counters_track_wbfc_stats():
+    net, _, session = _run(rate=0.3)
+    fc_stats = net.flow_control.stats
+    wb = session.counters.wb
+    marks = sum(c for key, c in wb.items() if key.endswith(":mark"))
+    assert marks == fc_stats["marks"]
+    fc = session.counters.fc
+    assert fc.get("wbfc_gray_grab", 0) == fc_stats["gray_grabs"]
+    assert fc.get("wbfc_transit_gray_grab", 0) == fc_stats["transit_gray_grabs"]
+    reclaim_events = sum(
+        c
+        for key, c in session.counters.ci_events.items()
+        if key.endswith(":reclaim")
+    )
+    assert reclaim_events == fc_stats["reclaims"]
+
+
+def test_vc_peak_bounded_by_capacity():
+    net, _, session = _run()
+    depth = net.config.buffer_depth
+    staging = net.config.max_packet_length
+    peaks = session.counters.vc_peak
+    assert peaks
+    for label, peak in peaks.items():
+        # LOCAL staging slots ("/p0/") hold a whole packet; link-fed
+        # buffers are bounded by the configured depth.
+        cap = staging if "/p0/" in label else depth
+        assert 0 < peak <= cap, (label, peak, cap)
+
+
+def test_histogram_sink_counts_every_delivered_packet():
+    net, _, session = _run(features=("counters", "histograms"))
+    ejected = sum(
+        per.get("packets_ejected", 0) for per in session.counters.router.values()
+    )
+    assert session.histograms.latency.count == ejected > 0
+
+
+def test_counter_report_is_json_plain():
+    import json
+
+    _, _, session = _run(features="full", cycles=400)
+    report = session.report()
+    encoded = json.dumps(report.to_dict())
+    assert '"router"' in encoded and '"latency"' in encoded

@@ -1,0 +1,101 @@
+"""The pinned quantile convention and histogram merge algebra."""
+
+import statistics
+
+import pytest
+
+from repro.telemetry.histograms import Histogram, nearest_rank_index, quantile_sorted
+
+
+def _hist(values, bin_width=1):
+    h = Histogram(bin_width)
+    for v in values:
+        h.record(v)
+    return h
+
+
+class TestQuantileConvention:
+    def test_exact_values_pinned(self):
+        # sorted[min(n-1, int(q*n))] on 1..10: p50 -> index 5, p95 -> 9,
+        # p99 -> 9.  These literals are the contract.
+        values = list(range(1, 11))
+        assert quantile_sorted(values, 0.50) == 6.0
+        assert quantile_sorted(values, 0.95) == 10.0
+        assert quantile_sorted(values, 0.99) == 10.0
+        assert quantile_sorted(values, 0.0) == 1.0
+        assert quantile_sorted(values, 1.0) == 10.0
+
+    def test_single_sample(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert quantile_sorted([7], q) == 7.0
+
+    def test_index_formula(self):
+        for n in (1, 2, 3, 10, 101):
+            for q in (0.0, 0.5, 0.9, 0.95, 0.99, 1.0):
+                assert nearest_rank_index(n, q) == min(n - 1, int(q * n))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest_rank_index(0, 0.5)
+
+    def test_histogram_matches_sorted_list(self):
+        import random
+
+        rng = random.Random(5)
+        values = [rng.randrange(0, 400) for _ in range(1_000)]
+        h = _hist(values)
+        s = sorted(values)
+        for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == quantile_sorted(s, q)
+
+    def test_histogram_mean_matches_fmean(self):
+        values = [3, 3, 4, 9, 250, 1, 0, 77]
+        assert _hist(values).mean() == statistics.fmean(values)
+
+
+class TestHistogramMerge:
+    def test_merge_matches_concatenation(self):
+        a, b = _hist([1, 2, 3]), _hist([3, 4, 400])
+        m = a.merge(b)
+        ref = _hist([1, 2, 3, 3, 4, 400])
+        assert m == ref
+
+    def test_associative_and_commutative(self):
+        parts = [_hist([1, 5]), _hist([2]), _hist([9, 9, 9, 120])]
+        a, b, c = parts
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+        assert a.merge(b) == b.merge(a)
+        assert Histogram.merge_all(parts) == Histogram.merge_all(reversed(parts))
+
+    def test_merge_all_empty(self):
+        empty = Histogram.merge_all([])
+        assert empty.count == 0
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Histogram(1).merge(Histogram(2))
+
+    def test_merge_does_not_mutate_operands(self):
+        a, b = _hist([1]), _hist([2])
+        a.merge(b)
+        assert a == _hist([1]) and b == _hist([2])
+
+
+class TestHistogramBasics:
+    def test_negative_sample_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().record(-1)
+
+    def test_binning(self):
+        h = _hist([0, 9, 10, 19, 20], bin_width=10)
+        assert h.counts == [2, 2, 1]
+        assert h.count == 5
+        assert h.value_sum == 58
+
+    def test_round_trip(self):
+        h = _hist([4, 4, 17])
+        assert Histogram.from_dict(h.to_dict()) == h
+
+    def test_empty_quantile_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.5)

@@ -1,0 +1,95 @@
+"""ProbeBus subscription semantics and the zero-cost `active` flag."""
+
+import pytest
+
+from repro.telemetry.probes import PROBE_EVENTS, ProbeBus, ProbeSink
+
+
+class TestActiveFlag:
+    def test_fresh_bus_inactive(self):
+        assert ProbeBus().active is False
+
+    def test_detailed_subscription_activates(self):
+        bus = ProbeBus()
+        bus.subscribe("flit_sent", lambda *a: None)
+        assert bus.active is True
+
+    def test_packet_ejected_does_not_activate(self):
+        # The core metrics collector always listens to packet_ejected; it
+        # must not force every flit-level probe site to dispatch.
+        bus = ProbeBus()
+        bus.subscribe("packet_ejected", lambda *a: None)
+        assert bus.active is False
+
+    def test_unsubscribe_deactivates(self):
+        bus = ProbeBus()
+        cb = lambda *a: None  # noqa: E731
+        bus.subscribe("va_grant", cb)
+        bus.unsubscribe("va_grant", cb)
+        assert bus.active is False
+
+    def test_unknown_event_raises(self):
+        with pytest.raises((ValueError, AttributeError)):
+            ProbeBus().subscribe("no_such_event", lambda *a: None)
+
+
+class TestDispatch:
+    def test_every_event_dispatches_to_subscribers(self):
+        bus = ProbeBus()
+        seen = {}
+        for event in PROBE_EVENTS:
+            bus.subscribe(event, lambda *a, _e=event: seen.setdefault(_e, a))
+        args_by_event = {
+            "packet_offered": ("n", "p", True, 0),
+            "packet_staged": ("n", "p", 1),
+            "packet_injected": ("n", "p", 2),
+            "packet_ejected": ("p", 3),
+            "flit_delivered": ("ivc", "f", 4),
+            "flit_sent": ("n", "ivc", "f", 5),
+            "va_grant": ("n", "ivc", "p", 1, 0, True, 2, 6),
+            "credit_stall": ("n", "ivc", 7),
+            "buffer_occupancy": ("ivc", 1),
+            "wb_color": ("ivc", "W", "B", "mark"),
+            "ci_update": ("n", "r", 1, "mark"),
+            "fc_event": ("name", "key"),
+        }
+        assert set(args_by_event) == set(PROBE_EVENTS)
+        for event, args in args_by_event.items():
+            getattr(bus, event)(*args)
+        assert seen == args_by_event
+
+    def test_multiple_subscribers_in_order(self):
+        bus = ProbeBus()
+        calls = []
+        bus.subscribe("fc_event", lambda n, k: calls.append(("a", n)))
+        bus.subscribe("fc_event", lambda n, k: calls.append(("b", n)))
+        bus.fc_event("x", "k")
+        assert calls == [("a", "x"), ("b", "x")]
+
+
+class TestSinks:
+    def test_sink_subscribes_only_overridden_methods(self):
+        class OnlyStalls(ProbeSink):
+            def __init__(self):
+                self.stalls = 0
+
+            def credit_stall(self, node, ivc, cycle):
+                self.stalls += 1
+
+        bus = ProbeBus()
+        sink = OnlyStalls()
+        bus.add_sink(sink)
+        assert bus.subscribers("credit_stall")
+        assert not bus.subscribers("flit_sent")
+        bus.credit_stall(0, None, 1)
+        assert sink.stalls == 1
+        bus.remove_sink(sink)
+        assert not bus.subscribers("credit_stall")
+        assert bus.active is False
+
+    def test_base_sink_is_all_noops(self):
+        bus = ProbeBus()
+        bus.add_sink(ProbeSink())
+        assert bus.active is False
+        for event in PROBE_EVENTS:
+            assert not bus.subscribers(event)

@@ -1,0 +1,155 @@
+"""TelemetryReport merging, spec folding, and result-store round-trips."""
+
+import dataclasses
+
+from repro.metrics.sweep import run_point, sweep
+from repro.sim.checkpoint import ResultStore
+from repro.sim.spec import (
+    ScenarioSpec,
+    execute,
+    execution_stats,
+    reset_execution_stats,
+)
+from repro.telemetry import Histogram, TelemetryReport, merge_reports
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        design="WBFC-1VC",
+        topology="torus:4x4",
+        injection_rate=0.2,
+        seed=11,
+        warmup=100,
+        measure=400,
+        telemetry=("counters", "histograms"),
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestSpecFolding:
+    def test_telemetry_in_content_hash(self):
+        assert _spec().content_hash() != _spec(telemetry=()).content_hash()
+        assert _spec().content_hash() != _spec(telemetry="full").content_hash()
+
+    def test_feature_order_is_canonical(self):
+        a = _spec(telemetry=("histograms", "counters"))
+        b = _spec(telemetry=("counters", "histograms"))
+        assert a == b and a.content_hash() == b.content_hash()
+
+    def test_round_trip(self):
+        spec = _spec(telemetry="full")
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_full_expansion(self):
+        assert _spec(telemetry="full").telemetry == (
+            "counters",
+            "histograms",
+            "timeseries",
+            "trace",
+        )
+
+
+class TestStoreRoundTrip:
+    def test_warm_summary_equals_cold(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = _spec(telemetry="full")
+        reset_execution_stats()
+        cold = execute(spec, store=store)
+        warm = execute(spec, store=store)
+        stats = execution_stats()
+        assert stats == {"simulated": 1, "cache_hits": 1}
+        assert isinstance(warm.telemetry, TelemetryReport)
+        assert warm.telemetry.features == cold.telemetry.features
+        assert warm.telemetry.counters == cold.telemetry.counters
+        assert warm.telemetry.histograms == cold.telemetry.histograms
+        assert dataclasses.replace(warm, telemetry=None) == dataclasses.replace(
+            cold, telemetry=None
+        )
+
+    def test_off_spec_round_trips_without_telemetry(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = _spec(telemetry=())
+        cold = execute(spec, store=store)
+        warm = execute(spec, store=store)
+        assert warm == cold and warm.telemetry is None
+
+
+class TestMergeReports:
+    def test_merge_is_order_independent(self):
+        reports = [
+            execute(_spec(seed=seed)).telemetry for seed in (1, 2, 3)
+        ]
+        forward = merge_reports(reports)
+        backward = merge_reports(reversed(reports))
+        assert forward.counters == backward.counters
+        assert forward.histograms == backward.histograms
+
+    def test_merge_adds_counters_and_histograms(self):
+        a = TelemetryReport(
+            features=("counters", "histograms"),
+            counters={"router": {"0": {"flits_sent": 2}}, "fc": {"x": 1}},
+            histograms={"latency": Histogram(1, [1, 1], 2, 1)},
+        )
+        b = TelemetryReport(
+            features=("counters",),
+            counters={"router": {"0": {"flits_sent": 3}, "1": {"va_grants": 4}}},
+            histograms={"latency": Histogram(1, [0, 2], 2, 2)},
+        )
+        m = merge_reports([a, b, None])
+        assert m.counters["router"] == {
+            "0": {"flits_sent": 5},
+            "1": {"va_grants": 4},
+        }
+        assert m.counters["fc"] == {"x": 1}
+        assert m.histograms["latency"] == Histogram(1, [1, 3], 4, 3)
+        assert m.features == ("counters", "histograms")
+        # Per-run observations do not merge.
+        assert m.series == [] and m.trace_events == []
+
+
+class TestSweepPlumbing:
+    def test_run_point_and_sweep_carry_reports(self):
+        rates = (0.05, 0.15)
+        curve = sweep(
+            "WBFC-1VC",
+            "torus:4x4",
+            "UR",
+            list(rates),
+            workers=2,
+            warmup=100,
+            measure=300,
+            telemetry=("counters", "histograms"),
+        )
+        assert [p.injection_rate for p in curve.points] == list(rates)
+        merged = curve.merged_telemetry()
+        per_point = [p.summary.telemetry for p in curve.points]
+        assert all(r is not None for r in per_point)
+        assert merged.histograms["latency"].count == sum(
+            r.histograms["latency"].count for r in per_point
+        )
+        # The merged fold equals each worker's counters added pairwise.
+        total_sent = sum(
+            per.get("flits_sent", 0)
+            for r in per_point
+            for per in r.counters["router"].values()
+        )
+        merged_sent = sum(
+            per.get("flits_sent", 0) for per in merged.counters["router"].values()
+        )
+        assert merged_sent == total_sent > 0
+
+    def test_parallel_matches_serial(self):
+        kwargs = dict(warmup=100, measure=300, telemetry=("histograms",))
+        serial = [
+            run_point("WBFC-1VC", "torus:4x4", "UR", r, **kwargs)
+            for r in (0.05, 0.15)
+        ]
+        curve = sweep(
+            "WBFC-1VC", "torus:4x4", "UR", [0.05, 0.15], workers=2, **kwargs
+        )
+        for a, b in zip(serial, (p.summary for p in curve.points)):
+            assert a.telemetry.histograms == b.telemetry.histograms
+            assert dataclasses.replace(a, telemetry=None) == dataclasses.replace(
+                b, telemetry=None
+            )

@@ -1,0 +1,96 @@
+"""Chrome-trace exporter: schema validity and lifecycle pairing."""
+
+import json
+
+import pytest
+
+from repro.sim.spec import ScenarioSpec, execute, prepare
+from repro.telemetry import trace_document, validate_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def traced():
+    spec = ScenarioSpec(
+        design="WBFC-1VC",
+        topology="torus:4x4",
+        injection_rate=0.15,
+        seed=3,
+        warmup=100,
+        measure=400,
+        telemetry=("trace",),
+    )
+    prepared = prepare(spec)
+    sim = prepared.simulator
+    sim.run(spec.warmup + spec.measure)
+    return prepared
+
+
+def test_written_file_passes_validation(tmp_path, traced):
+    path = tmp_path / "trace.json"
+    count = traced.telemetry.write_chrome_trace(path)
+    doc = json.loads(path.read_text())
+    assert validate_chrome_trace(doc) == count == len(doc["traceEvents"])
+    assert doc["otherData"]["time_unit"] == "cycles"
+
+
+def test_document_structure(traced):
+    doc = trace_document(traced.network, traced.telemetry.trace.events)
+    events = doc["traceEvents"]
+    phases = {ev["ph"] for ev in events}
+    assert phases == {"M", "b", "e", "X"}
+    # One process-name metadata record per router.
+    meta = [ev for ev in events if ev["ph"] == "M"]
+    assert len(meta) == traced.network.topology.num_nodes
+    # Every ejection ("e") closes a staging ("b") of the same async id.
+    begun = {ev["id"] for ev in events if ev["ph"] == "b"}
+    ended = {ev["id"] for ev in events if ev["ph"] == "e"}
+    assert ended and ended <= begun
+    # Flit spans carry the switch+link duration and non-negative times.
+    spans = [ev for ev in events if ev["ph"] == "X"]
+    assert spans
+    assert all(ev["dur"] == traced.network.config.st_link_delay for ev in spans)
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda d: d.pop("traceEvents"), "traceEvents"),
+        (lambda d: d["traceEvents"][0].pop("ts"), "missing 'ts'"),
+        (lambda d: d["traceEvents"][0].update(ph="Q"), "unknown phase"),
+        (lambda d: d["traceEvents"][0].update(ts=-1), "bad ts"),
+        (lambda d: d["traceEvents"].append({"name": "x", "ph": "X", "ts": 0, "pid": 0, "tid": 0}), "dur"),
+        (lambda d: d["traceEvents"].append({"name": "x", "ph": "b", "ts": 0, "pid": 0, "tid": 0}), "id"),
+    ],
+)
+def test_validation_rejects_malformed(traced, mutate, message):
+    doc = trace_document(traced.network, traced.telemetry.trace.events)
+    mutate(doc)
+    with pytest.raises(ValueError, match=message):
+        validate_chrome_trace(doc)
+
+
+def test_trace_feature_required_for_export(tmp_path):
+    spec = ScenarioSpec(
+        design="WBFC-1VC",
+        topology="torus:4x4",
+        warmup=10,
+        measure=10,
+        telemetry=("counters",),
+    )
+    prepared = prepare(spec)
+    with pytest.raises(RuntimeError):
+        prepared.telemetry.write_chrome_trace(tmp_path / "x.json")
+
+
+def test_execute_carries_trace_events():
+    spec = ScenarioSpec(
+        design="DL-2VC",
+        topology="torus:4x4",
+        injection_rate=0.1,
+        warmup=50,
+        measure=200,
+        telemetry=("trace",),
+    )
+    summary = execute(spec)
+    assert summary.telemetry.trace_events
+    assert all("ph" in ev for ev in summary.telemetry.trace_events)

@@ -22,7 +22,7 @@ def test_message_class_mix_matches_profile():
     net = make_torus_network("DL-3VC")
     wl = CoherenceWorkload(net, "canneal", transactions_per_core=40, seed=11)
     classes = []
-    net.ejection_listeners.append(lambda p, c: classes.append(p.cls))
+    net.probes.subscribe("packet_ejected", lambda p, c: classes.append(p.cls))
     sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=100_000))
     wl.run_to_completion(sim, max_cycles=400_000)
     requests = classes.count(REQUEST)
@@ -39,7 +39,7 @@ def test_responses_are_long_requests_short():
     net = make_torus_network("DL-3VC")
     wl = CoherenceWorkload(net, "dedup", transactions_per_core=20, seed=11)
     lengths = {}
-    net.ejection_listeners.append(lambda p, c: lengths.setdefault(p.cls, set()).add(p.length))
+    net.probes.subscribe("packet_ejected", lambda p, c: lengths.setdefault(p.cls, set()).add(p.length))
     sim = Simulator(net, wl, watchdog=Watchdog(net, deadlock_window=100_000))
     wl.run_to_completion(sim, max_cycles=400_000)
     assert lengths[REQUEST] == {1}
