@@ -45,6 +45,7 @@ from repro.traffic.patterns import make_pattern
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,15 @@ def bench_torus4_high(cycles: int = 10_000) -> int:
     return _run_cycles("WBFC-1VC", 4, 0.40, cycles)
 
 
+def bench_torus8_idle(cycles: int = 10_000) -> int:
+    """8x8 torus, WBFC-1VC, uniform random at 0.02 flits/node/cycle.
+
+    Deep sub-saturation: the benchmark the event-horizon scheduler's
+    skip path and wake scheduling are tracked against.
+    """
+    return _run_cycles("WBFC-1VC", 8, 0.02, cycles)
+
+
 def bench_torus8_sweep(_cycles_unused: int = 0) -> int:
     """8x8 torus, WBFC-2VC, a 3-point latency-load sweep (warmup+measure)."""
     rates = [0.05, 0.15, 0.25]
@@ -109,6 +119,7 @@ def bench_torus8_sweep(_cycles_unused: int = 0) -> int:
 BENCHMARKS: dict[str, tuple[Callable[[], int], str]] = {
     "torus4_wbfc_low": (bench_torus4_low, "4x4 torus WBFC-1VC UR @ 0.05"),
     "torus4_wbfc_high": (bench_torus4_high, "4x4 torus WBFC-1VC UR @ 0.40"),
+    "torus8_wbfc_idle": (bench_torus8_idle, "8x8 torus WBFC-1VC UR @ 0.02"),
     "torus8_wbfc2_sweep": (bench_torus8_sweep, "8x8 torus WBFC-2VC 3-rate sweep"),
 }
 
@@ -183,6 +194,48 @@ def merge_and_write(label: str, run: dict, output: Path) -> dict:
     return doc
 
 
+def append_history(label: str, run: dict, history: Path) -> None:
+    """Append this run to the append-only revision trajectory.
+
+    One JSON object per line, never rewritten: unlike ``BENCH_core.json``
+    (whose ``current`` label is overwritten each PR), the history keeps
+    every recorded revision, so perf gates can compare against the state
+    of the world *before* an optimization landed and plots can show the
+    full trajectory.
+    """
+    record = {
+        "label": label,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **run,
+    }
+    with history.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def profile_benchmark(name: str, top: int = 20) -> int:
+    """cProfile one benchmark and print the top functions by cumulative time.
+
+    The starting point for perf PRs: run before and after, diff the tables.
+    """
+    import cProfile
+    import pstats
+
+    if name not in BENCHMARKS:
+        print(f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}",
+              file=sys.stderr)
+        return 2
+    runner, desc = BENCHMARKS[name]
+    print(f"profiling {name} ({desc}), top {top} by cumulative time:")
+    prof = cProfile.Profile()
+    prof.enable()
+    cycles = runner()
+    prof.disable()
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(top)
+    print(f"(simulated {cycles} cycles)")
+    return 0
+
+
 def smoke(floor: float, cycles: int = 5_000) -> int:
     """CI tripwire: headline benchmark must clear a generous cycles/sec floor."""
     t0 = time.perf_counter()
@@ -204,8 +257,11 @@ def telemetry_guard(
     ref_label: str = "current",
     cycles: int = 30_000,
     repeats: int = 3,
+    idle_speedup: float = 5.0,
+    idle_ref_label: str = "pre_event_horizon",
 ) -> int:
-    """Fail if telemetry-off throughput regressed beyond the probe budget.
+    """Fail if telemetry-off throughput regressed beyond the probe budget,
+    or if the event-horizon win on the idle benchmark eroded.
 
     Measures the headline benchmark with the probe bus inactive and
     compares against the cycles/sec recorded in ``BENCH_core.json`` under
@@ -214,6 +270,14 @@ def telemetry_guard(
     different machine or a noisy CI runner — pass ``--noise 0`` on the
     machine that recorded the reference for the strict check.  Also prints
     the telemetry-ON (counters+histograms) slowdown, informationally.
+
+    The idle gate: ``torus8_wbfc_idle`` must run at least ``idle_speedup``
+    x the throughput recorded under ``idle_ref_label`` — the revision
+    captured *before* the event-horizon engine landed (``current`` is
+    refreshed every PR, so it cannot anchor a cumulative speedup claim;
+    the pre-optimization label and ``BENCH_history.jsonl`` never move).
+    Padded by the same ``noise`` allowance; skipped with a notice if the
+    reference file predates the idle benchmark.
     """
     try:
         doc = json.loads(reference.read_text())
@@ -245,6 +309,35 @@ def telemetry_guard(
         print(f"FAIL: telemetry-off throughput below {1 - tolerance:.0%} of the "
               f"recorded reference (noise allowance {noise:.0%})", file=sys.stderr)
         return 1
+
+    idle_ref = (
+        doc["revisions"]
+        .get(idle_ref_label, {})
+        .get("results", {})
+        .get("torus8_wbfc_idle", {})
+        .get("cycles_per_sec")
+    )
+    if idle_ref is None:
+        print(f"idle guard: no {idle_ref_label!r} torus8_wbfc_idle reference "
+              f"recorded; skipping the idle-speedup check")
+        return 0
+    best_idle = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        executed = bench_torus8_idle()
+        wall = time.perf_counter() - t0
+        if best_idle is None or wall < best_idle:
+            best_idle = wall
+    idle_cps = executed / best_idle if best_idle > 0 else 0.0
+    idle_floor = idle_ref * idle_speedup * (1 - noise)
+    print(f"idle guard: {idle_cps:.0f} cycles/sec vs {idle_ref:.0f} recorded "
+          f"({idle_ref_label}) -> {idle_cps / idle_ref:.2f}x "
+          f"(need >= {idle_speedup:.1f}x, floor {idle_floor:.0f})")
+    if idle_cps < idle_floor:
+        print(f"FAIL: idle benchmark below {idle_speedup:.1f}x of the "
+              f"pre-event-horizon reference (noise allowance {noise:.0%})",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -269,16 +362,37 @@ def main(argv: list[str] | None = None) -> int:
                              "0 on the machine that recorded the reference")
     parser.add_argument("--ref-label", default="current",
                         help="BENCH_core.json revision the guard compares to")
+    parser.add_argument("--idle-speedup", type=float, default=5.0,
+                        help="required torus8_wbfc_idle speedup over the "
+                             "--idle-ref-label revision (--telemetry-guard)")
+    parser.add_argument("--idle-ref-label", default="pre_event_horizon",
+                        help="BENCH_core.json revision anchoring the idle "
+                             "speedup gate (recorded before the event-horizon "
+                             "engine landed; never overwritten)")
+    parser.add_argument("--profile", metavar="NAME", nargs="?",
+                        const=HEADLINE, default=None,
+                        help="cProfile one benchmark (default: the headline) "
+                             "and print the top-20 cumulative functions")
+    parser.add_argument("--history", type=Path, default=DEFAULT_HISTORY,
+                        help="append-only JSONL revision trajectory")
+    parser.add_argument("--no-history", action="store_true",
+                        help="skip appending this run to --history")
     args = parser.parse_args(argv)
+    if args.profile is not None:
+        return profile_benchmark(args.profile)
     if args.smoke:
         return smoke(args.floor)
     if args.telemetry_guard:
         return telemetry_guard(
             args.tolerance, args.noise, args.output, args.ref_label,
-            repeats=args.repeats,
+            repeats=args.repeats, idle_speedup=args.idle_speedup,
+            idle_ref_label=args.idle_ref_label,
         )
     run = run_all(repeats=args.repeats)
     doc = merge_and_write(args.label, run, args.output)
+    if not args.no_history:
+        append_history(args.label, run, args.history)
+        print(f"appended to {args.history}")
     if "speedup_current_vs_baseline" in doc:
         print("speedup vs baseline:", doc["speedup_current_vs_baseline"])
     print(f"wrote {args.output}")

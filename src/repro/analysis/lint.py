@@ -23,7 +23,9 @@ detectable, so this pass runs in CI over ``src/repro``:
     must iterate ``sorted(...)`` snapshots (see
     ``Network.run_router_phases``).  The check is syntactic: set
     literals/comprehensions, ``set(...)`` calls, and the kernel's known
-    set-typed attributes, unless wrapped in ``sorted``.
+    set-typed attributes, unless wrapped in ``sorted`` — or consumed by
+    an order-free reduction (``min``/``max``/``sum``/``any``/``all``),
+    whose result cannot depend on iteration order.
 
 ``mutable-default``
     A mutable default argument (list/dict/set literal or constructor) is
@@ -56,6 +58,10 @@ _KERNEL_MODULES = (
     "core/wbfc.py",
     "sim/engine.py",
 )
+#: Builtins whose result is invariant under permutation of their (pure)
+#: iterable argument; a comprehension over a kernel set directly inside
+#: one is deterministic even though the iteration order is not.
+_ORDER_FREE_REDUCERS = frozenset({"min", "max", "sum", "any", "all"})
 #: Known set-typed attributes of the kernel's hot objects.
 _KERNEL_SET_ATTRS = frozenset(
     {
@@ -101,6 +107,9 @@ class _Visitor(ast.NodeVisitor):
         self.allow_random = norm.endswith(_RNG_MODULE)
         self.allow_time = any(norm.endswith(s) for s in _TIME_ALLOWLIST)
         self.is_kernel = any(norm.endswith(s) for s in _KERNEL_MODULES)
+        #: Comprehension nodes that are direct arguments of an order-free
+        #: reducer (marked by ``visit_Call`` before descending into them).
+        self._reduced: set[int] = set()
 
     def _add(self, node: ast.AST, rule: str, message: str) -> None:
         self.findings.append(Finding(self.path, node.lineno, rule, message))
@@ -159,6 +168,12 @@ class _Visitor(ast.NodeVisitor):
                     node, "direct-time",
                     f"call to {name}; results must not read the wall clock",
                 )
+            if name in _ORDER_FREE_REDUCERS:
+                for arg in node.args:
+                    if isinstance(
+                        arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                    ):
+                        self._reduced.add(id(arg))
         self.generic_visit(node)
 
     # -- set iteration in the kernel ---------------------------------------------
@@ -192,8 +207,9 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_comprehension_generators(self, node) -> None:
-        for gen in node.generators:
-            self._check_iter(node, gen.iter)
+        if id(node) not in self._reduced:
+            for gen in node.generators:
+                self._check_iter(node, gen.iter)
         self.generic_visit(node)
 
     visit_ListComp = visit_comprehension_generators

@@ -106,6 +106,27 @@ class InvariantSanitizer:
         if problems:
             raise SanitizerError(cycle, problems)
 
+    #: Registered directly as a cycle listener by the engine.
+    __call__ = on_cycle
+
+    # -- event-horizon wake contract (see API.md) -------------------------------
+
+    def next_wake(self, cycle: int) -> int:
+        """Deep checks land on interval multiples; demand a tick there."""
+        rem = cycle % self.interval
+        return cycle if rem == 0 else cycle + (self.interval - rem)
+
+    def skip_span(self, start: int, end: int) -> None:
+        """Account for the cheap checks of skipped cycles ``[start, end)``.
+
+        The engine only skips spans where every layer it audits is frozen
+        (quiescent network, no events in flight), so each skipped cycle's
+        conservation checks would evaluate the same state the last ticked
+        cycle already passed; re-running them would be pure repetition.
+        ``next_wake`` keeps deep-check cycles ticked, so none fall inside.
+        """
+        self.checks_run += end - start
+
     # -- every-cycle checks ----------------------------------------------------
 
     def _check_tokens(self, problems: list[str]) -> None:
@@ -240,3 +261,21 @@ class InvariantSanitizer:
                     f"ring {ring_id}: lane occupied count {lane.occupied} != "
                     f"recount {occupied}"
                 )
+            mask = 0
+            for ivc in fc.ring_buffers[ring_id]:
+                if not ivc.flits and ivc._owner is None:
+                    mask |= 1 << ivc.ring_pos
+            if lane.bubble_mask != mask:
+                problems.append(
+                    f"ring {ring_id}: lane bubble mask {lane.bubble_mask:#x} "
+                    f"!= recount {mask:#x}"
+                )
+            if lane.color_key is not None:
+                truth = 0
+                for ivc in fc.ring_buffers[ring_id]:
+                    truth |= ivc._color.code << (2 * ivc.ring_pos)
+                if lane.color_key != truth:
+                    problems.append(
+                        f"ring {ring_id}: lane color key {lane.color_key:#x} "
+                        f"!= recount {truth:#x}"
+                    )

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 
-__all__ = ["WBColor"]
+__all__ = ["CODE_TO_COLOR", "WBColor"]
 
 
 class WBColor(enum.Enum):
@@ -26,3 +26,14 @@ class WBColor(enum.Enum):
 
     def __repr__(self) -> str:
         return f"WBColor.{self.name}"
+
+
+# Packed 2-bit codes (definition order: WHITE=0, GRAY=1, BLACK=2) so a
+# ring's whole color vector fits one int — the key of the displacement-pass
+# memo in repro.core.wbfc.  Assigned post-class: Enum would otherwise turn
+# the ints into members.
+for _code, _member in enumerate(WBColor):
+    _member.code = _code
+
+#: Inverse of ``WBColor.code``: ``CODE_TO_COLOR[member.code] is member``.
+CODE_TO_COLOR = tuple(WBColor)

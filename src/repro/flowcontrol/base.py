@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 
 from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Packet
+from ..sim.config import NEVER
 from ..telemetry.probes import ProbeBus
 from ..topology.base import Ring
 
@@ -142,6 +143,29 @@ class FlowControl(ABC):
 
     def pre_cycle(self, cycle: int) -> None:
         """Per-cycle token maintenance (proactive worm-bubble displacement)."""
+
+    def next_wake(self, cycle: int) -> int:
+        """Event-horizon wake contract (see API.md): the earliest cycle
+        ``>= cycle`` at which this scheme needs :meth:`pre_cycle` to run on
+        a fully quiescent network.  Returning ``cycle`` forbids skipping.
+
+        The default inspects whether the concrete class overrides
+        ``pre_cycle``: schemes with the no-op base never need waking;
+        schemes with per-cycle maintenance that have not declared their own
+        wake schedule conservatively demand every cycle (correct, no skip).
+        """
+        if type(self).pre_cycle is FlowControl.pre_cycle:
+            return NEVER
+        return cycle
+
+    def skip_cycles(self, span: int) -> None:
+        """``span`` fully quiescent cycles were skipped without ticking.
+
+        Called only for spans every component agreed to sleep through
+        (``next_wake`` returned a later cycle), so the default is a no-op;
+        schemes with per-cycle bookkeeping that is well-defined on an idle
+        network (WBFC's deferred token rotation) account for it here in
+        O(state), not O(span)."""
 
     def on_slot_filled(self, ivc: InputVC, flit) -> None:
         """Non-atomic modes: a flit was written into ``ivc``."""

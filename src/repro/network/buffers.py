@@ -46,6 +46,7 @@ class InputVC:
         "order",
         "_color",
         "color_lane",
+        "ring_pos",
         "ring_id",
         "is_escape",
         "route_candidates",
@@ -91,6 +92,9 @@ class InputVC:
         #: exact token positions even when idle-ring displacement was
         #: batched.
         self.color_lane = None
+        #: Position of this buffer along its ring's buffer list (WBFC);
+        #: the bit index of this buffer in the lane's packed vectors.
+        self.ring_pos = 0
         #: Unidirectional ring this buffer belongs to (escape VCs on rings).
         self.ring_id = ring_id
         self.is_escape = is_escape
@@ -141,6 +145,12 @@ class InputVC:
             # vector no longer matches the memoized position.
             lane.dirty = True
             lane.traj_entry = None
+            key = lane.color_key
+            if key is not None:
+                # Keep the packed color vector exact without an O(k) rebuild.
+                lane.color_key = key + (
+                    (value.code - self._color.code) << (self.ring_pos * 2)
+                )
         self._color = value
 
     @property

@@ -8,10 +8,11 @@ it one phase at a time so all routers observe consistent state.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 from typing import TYPE_CHECKING
 
-from ..sim.config import SimulationConfig
+from ..sim.config import NEVER, SimulationConfig
 from ..telemetry.probes import ProbeBus
 from ..topology.base import LOCAL_PORT, Topology
 
@@ -84,6 +85,12 @@ class Network:
         self._arrivals: dict[int, list[tuple[InputVC, Flit]]] = defaultdict(list)
         self._credits: dict[int, list[tuple[OutputVC, bool]]] = defaultdict(list)
         self._ejections: dict[int, list[tuple[int, Flit]]] = defaultdict(list)
+        #: Min-heap of cycles with at least one scheduled event, feeding
+        #: ``next_event_cycle``.  May hold up to one entry per event kind
+        #: per cycle plus stale entries for already-drained cycles; both
+        #: are discarded lazily, so pushes stay O(log n) and the heap is
+        #: derived state (rebuilt from the three dicts on restore).
+        self._event_heap: list[int] = []
         flow_control.attach(self)
 
     @property
@@ -132,13 +139,56 @@ class Network:
     # -- event scheduling ---------------------------------------------------------
 
     def schedule_arrival(self, ivc: InputVC, flit: Flit, when: int) -> None:
-        self._arrivals[when].append((ivc, flit))
+        bucket = self._arrivals[when]
+        if not bucket:
+            heapq.heappush(self._event_heap, when)
+        bucket.append((ivc, flit))
 
     def schedule_credit(self, ovc: OutputVC, is_tail: bool, when: int) -> None:
-        self._credits[when].append((ovc, is_tail))
+        bucket = self._credits[when]
+        if not bucket:
+            heapq.heappush(self._event_heap, when)
+        bucket.append((ovc, is_tail))
 
     def schedule_ejection(self, node: int, flit: Flit, when: int) -> None:
-        self._ejections[when].append((node, flit))
+        bucket = self._ejections[when]
+        if not bucket:
+            heapq.heappush(self._event_heap, when)
+        bucket.append((node, flit))
+
+    def is_quiescent(self) -> bool:
+        """True when no router stage or NIC can do work this cycle.
+
+        Empty phase sets imply zero buffered flits and zero staged packets
+        (any buffered flit or staging owner puts its VC in a non-IDLE state,
+        which registers its router in a phase set), and an empty pending-NIC
+        set means no backlog to stage — so a quiescent network's state can
+        only change through a scheduled event, a flow-control wake, or a
+        workload injection, which is exactly what the event-horizon skip in
+        :class:`repro.sim.engine.Simulator` bounds the gap by.
+        """
+        rc, va, sa = self.phase_routers
+        return not (rc or va or sa or self._pending_nic_nodes)
+
+    def next_event_cycle(self, cycle: int) -> int:
+        """Earliest cycle ``>= cycle`` with a scheduled delivery.
+
+        Returns :data:`~repro.sim.config.NEVER` when nothing is in flight.
+        Stale heap entries (cycles whose buckets were already drained by
+        ``begin_cycle``, or duplicates from multiple event kinds sharing a
+        cycle) are discarded here, lazily.
+        """
+        heap = self._event_heap
+        while heap:
+            when = heap[0]
+            if when >= cycle and (
+                when in self._arrivals
+                or when in self._credits
+                or when in self._ejections
+            ):
+                return when
+            heapq.heappop(heap)
+        return NEVER
 
     # -- per-cycle phases -----------------------------------------------------------
 
@@ -212,13 +262,15 @@ class Network:
                         f"{ivc.label()} owned by "
                         f"{ivc.owner.pid if ivc.owner else None}"
                     )
-                ivc.state = VCState.ROUTING
+                # stage_ready before state: the state setter publishes it
+                # into the router's per-stage ready bound.
                 ivc.stage_ready = cycle + self._routing_delay
+                ivc.state = VCState.ROUTING
             elif was_front:
                 # Non-atomic: this head is at the buffer front; start RC.
                 ivc.owner = flit.packet
-                ivc.state = VCState.ROUTING
                 ivc.stage_ready = cycle + self._routing_delay
+                ivc.state = VCState.ROUTING
 
     def _eject(self, node: int, flit: Flit, cycle: int) -> None:
         packet = flit.packet
@@ -361,6 +413,11 @@ class Network:
         self._ejections = defaultdict(list)
         for when, events in state["ejections"].items():
             self._ejections[when] = list(events)
+        # Derived: one entry per scheduled cycle, duplicates long gone.
+        # A sorted list is a valid min-heap.
+        self._event_heap = sorted(
+            set(self._arrivals) | set(self._credits) | set(self._ejections)
+        )
         # After the buffers: the scheme recounts lane occupancy from them.
         self.flow_control.restore_state(state["flow_control"])
         # Rebuild the derived active-set indices from restored ground truth.

@@ -70,8 +70,10 @@ class NIC:
                 for flit in packet.make_flits():
                     slot.push(flit)
                 slot.owner = packet
-                slot.state = VCState.ROUTING
+                # stage_ready before state: the state setter publishes it
+                # into the router's per-stage ready bound.
                 slot.stage_ready = cycle + self.network.config.routing_delay
+                slot.state = VCState.ROUTING
                 probes = self.network.probes
                 if probes.active:
                     probes.packet_staged(self.node, packet, cycle)

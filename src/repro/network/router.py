@@ -105,6 +105,16 @@ class Router:
         self._sorted_routing: list[InputVC] | None = None
         self._sorted_waiting: list[InputVC] | None = None
         self._sorted_active: list[InputVC] | None = None
+        #: Conservative lower bound on min ``stage_ready`` over each stage
+        #: set: min-lowered on stage entry (state setter sites assign
+        #: ``stage_ready`` first), recomputed exactly at the end of each
+        #: phase visit.  While ``cycle < bound`` the phase has no eligible
+        #: VC, so the whole visit is skipped; no-request visits advance no
+        #: arbiter pointer, making the skip bit-exact.  Meaningless while
+        #: the stage set is empty (overwritten on the next first entry).
+        self._rc_ready = 0
+        self._va_ready = 0
+        self._sa_ready = 0
         for port_list in self.inputs:
             for ivc in port_list:
                 ivc.scheduler = self
@@ -143,18 +153,27 @@ class Router:
             bucket = self._routing_vcs
             if not bucket:
                 phase_routers[0].add(node)
+                self._rc_ready = ivc.stage_ready
+            elif ivc.stage_ready < self._rc_ready:
+                self._rc_ready = ivc.stage_ready
             bucket.add(ivc)
             self._sorted_routing = None
         elif new is VCState.WAITING_VA:
             bucket = self._waiting_va_vcs
             if not bucket:
                 phase_routers[1].add(node)
+                self._va_ready = ivc.stage_ready
+            elif ivc.stage_ready < self._va_ready:
+                self._va_ready = ivc.stage_ready
             bucket.add(ivc)
             self._sorted_waiting = None
         elif new is VCState.ACTIVE:
             bucket = self._active_vcs
             if not bucket:
                 phase_routers[2].add(node)
+                self._sa_ready = ivc.stage_ready
+            elif ivc.stage_ready < self._sa_ready:
+                self._sa_ready = ivc.stage_ready
             bucket.add(ivc)
             self._sorted_active = None
 
@@ -239,12 +258,16 @@ class Router:
         self._sorted_routing = None
         self._sorted_waiting = None
         self._sorted_active = None
+        # Always-eligible bounds: the first phase visit recomputes them.
+        self._rc_ready = 0
+        self._va_ready = 0
+        self._sa_ready = 0
 
     # -- pipeline stages ------------------------------------------------------
 
     def route_compute(self, cycle: int) -> None:
         """Resolve routing candidates for heads whose RC stage completed."""
-        if not self._routing_vcs:
+        if not self._routing_vcs or cycle < self._rc_ready:
             return
         routing = self.network.routing
         vcs = self._sorted_routing
@@ -256,13 +279,16 @@ class Router:
                 assert head is not None and head.is_head
                 adaptive, escape = routing.route(self.node, head.packet)
                 ivc.route_candidates = (adaptive, escape)
-                ivc.state = VCState.WAITING_VA
                 ivc.stage_ready = cycle + self._vc_alloc_delay
+                ivc.state = VCState.WAITING_VA
                 ivc.va_first_request = None
+        self._rc_ready = min(
+            (ivc.stage_ready for ivc in self._routing_vcs), default=0
+        )
 
     def vc_allocate(self, cycle: int) -> None:
         """Grant output VCs to waiting heads (adaptive first, then escape)."""
-        if not self._waiting_va_vcs:
+        if not self._waiting_va_vcs or cycle < self._va_ready:
             return
         fc = self.network.flow_control
         vcs = self._sorted_waiting
@@ -303,10 +329,13 @@ class Router:
             ):
                 continue
             self._try_escape(ivc, packet, escape_port, cycle, in_ring_continuation)
+        self._va_ready = min(
+            (ivc.stage_ready for ivc in self._waiting_va_vcs), default=0
+        )
 
     def switch_allocate(self, cycle: int) -> None:
         """Separable input-first switch allocation; one flit per port."""
-        if not self._active_vcs:
+        if not self._active_vcs or cycle < self._sa_ready:
             return
         # Group SA-eligible VCs by input port, in (port, vc) scan order; the
         # per-port arbiter pointer only advances on non-empty request lists,
@@ -327,6 +356,9 @@ class Router:
                     self._send(ivc, cycle)
                 elif self._probes.active:
                     self._probes.credit_stall(self.node, ivc, cycle)
+            self._sa_ready = min(
+                (ivc.stage_ready for ivc in self._active_vcs), default=0
+            )
             return
         eligible_by_port: dict[int, list[InputVC]] = {}
         for ivc in vcs:
@@ -351,6 +383,9 @@ class Router:
             winner = self._sa_output_arbiters[out_port].pick(reqs)
             if winner is not None:
                 self._send(winner, cycle)
+        self._sa_ready = min(
+            (ivc.stage_ready for ivc in self._active_vcs), default=0
+        )
 
     # -- VA helpers -------------------------------------------------------------
 
@@ -464,8 +499,8 @@ class Router:
                 packet.injection_delay += wait
         ivc.out_port = out_port
         ivc.out_vc = out_vc
-        ivc.state = VCState.ACTIVE
         ivc.stage_ready = cycle + 1
+        ivc.state = VCState.ACTIVE
         self.network.act_va_grants += 1
         if self._probes.active:
             wait = (
@@ -537,8 +572,8 @@ class Router:
                 f"{front!r} follows a tail"
             )
         ivc.owner = front.packet
-        ivc.state = VCState.ROUTING
         ivc.stage_ready = cycle + self.network.config.routing_delay
+        ivc.state = VCState.ROUTING
         ivc.out_port = None
         ivc.out_vc = None
         ivc.va_first_request = None

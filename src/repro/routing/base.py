@@ -24,8 +24,13 @@ class RoutingFunction(ABC):
     def __init__(self, topology: Topology):
         self.topology = topology
         #: Route lookups are pure in (node, packet.dst), so memoize them;
-        #: a network does at most ``num_nodes**2`` distinct lookups.
-        self._route_cache: dict[tuple[int, int], tuple[tuple[int, ...], int]] = {}
+        #: a network does at most ``num_nodes**2`` distinct lookups.  A
+        #: flat list indexed ``node * num_nodes + dst`` beats a dict keyed
+        #: by tuple: no key allocation or hashing on the RC hot path.
+        self._num_nodes = topology.num_nodes
+        self._route_table: list[tuple[tuple[int, ...], int] | None] = [
+            None
+        ] * (topology.num_nodes * topology.num_nodes)
 
     @abstractmethod
     def escape_port(self, node: int, packet: Packet) -> int:
@@ -44,10 +49,10 @@ class RoutingFunction(ABC):
 
     def route(self, node: int, packet: Packet) -> tuple[tuple[int, ...], int]:
         """Memoized ``(adaptive candidate ports, escape port)``."""
-        key = (node, packet.dst)
-        hit = self._route_cache.get(key)
+        idx = node * self._num_nodes + packet.dst
+        hit = self._route_table[idx]
         if hit is None:
-            hit = self._route_cache[key] = (
+            hit = self._route_table[idx] = (
                 self.adaptive_ports(node, packet),
                 self.escape_port(node, packet),
             )

@@ -12,7 +12,12 @@ from dataclasses import dataclass
 
 from ..network.switching import Switching
 
-__all__ = ["SimulationConfig", "SHORT_PACKET_FLITS", "LONG_PACKET_FLITS"]
+__all__ = ["SimulationConfig", "SHORT_PACKET_FLITS", "LONG_PACKET_FLITS", "NEVER"]
+
+#: Sentinel wake cycle meaning "no future work" under the event-horizon
+#: wake contract (see API.md).  An int (not ``inf``) so ``min`` over wake
+#: cycles stays integer-typed; large enough to exceed any simulated time.
+NEVER = 1 << 62
 
 #: Length in flits of a short (control / request) packet: 16 B on a 128-bit link.
 SHORT_PACKET_FLITS = 1

@@ -81,6 +81,29 @@ class Watchdog:
         self._next_starvation_scan = state["next_starvation_scan"]
         self._last_progress = state["last_progress"]
 
+    def skip_cycles(self, start: int, end: int) -> None:
+        """Replay ``observe`` over skipped quiescent cycles ``[start, end)``.
+
+        The engine only skips spans where the network is fully quiescent —
+        no buffered flits, no backlog, nothing moving — so each skipped
+        ``observe`` would take the idle early-return (``_idle_cycles = 0``)
+        and each due starvation scan would see ``backlog_packets == 0``
+        and clear the waiting table.  Both are replayed here exactly, in
+        O(scans due), keeping watchdog state bit-identical to a ticked run.
+        """
+        self._idle_cycles = 0
+        net = self.network
+        step = max(1, self.starvation_window // 16)
+        nxt = self._next_starvation_scan
+        while nxt < end:
+            at = nxt if nxt > start else start
+            # _scan_starvation(at) on a quiescent network:
+            self._last_progress = (net.act_xbar_traversals, net.packets_ejected)
+            if self._waiting_since:
+                self._waiting_since.clear()
+            nxt = at + step
+        self._next_starvation_scan = nxt
+
     def observe(self, cycle: int) -> None:
         net = self.network
         # Starvation must be checked even on cycles where flits move —

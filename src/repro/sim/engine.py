@@ -1,9 +1,26 @@
-"""Cycle-driven simulation engine.
+"""Cycle-driven simulation engine with event-horizon idle skipping.
 
 Runs a :class:`~repro.network.network.Network` against a workload (any
 object exposing ``step(cycle, network)``), with an optional deadlock
 watchdog and per-cycle listeners.  All experiments and tests drive their
 simulations through this one loop.
+
+Event-horizon scheduling (see API.md for the full wake contract): when
+the network is fully quiescent — no router stage has work, no NIC has
+backlog, which provably implies zero buffered flits — the only things
+that can change state are a scheduled in-flight event, flow-control
+token maintenance, a periodic listener, or a workload injection.  Each
+of those components reports the next cycle it could act
+(``next_event_cycle`` / ``next_wake`` / ``next_active_cycle``); the
+minimum is the *horizon*, and every cycle strictly before it is skipped
+in O(1) per component (``skip_cycles`` / ``skip_span``) while
+``self.cycle`` advances exactly as if each cycle had been ticked.
+Workloads keep drawing their per-cycle Bernoulli RNG inside the scan, so
+a skipping run is bit-identical to a ticking one (pinned by the golden
+traces and the skip-vs-tick suite).  Components that predate the
+contract simply disable skipping: a listener without ``next_wake`` or a
+workload without ``next_active_cycle`` degrades to the plain per-cycle
+loop, never to wrong results.
 """
 
 from __future__ import annotations
@@ -43,12 +60,19 @@ class Simulator:
         workload: Workload | None = None,
         *,
         watchdog: Watchdog | None = None,
+        skip_idle: bool = True,
     ):
         self.network = network
         self.workload = workload
         self.watchdog = watchdog if watchdog is not None else Watchdog(network)
         self.cycle = 0
+        #: Event-horizon skipping master switch.  Off forces the plain
+        #: per-cycle loop (the skip-vs-tick identity tests' reference).
+        self.skip_idle = skip_idle
         #: Called as ``fn(cycle)`` after each cycle (metrics hooks).
+        #: Listeners that also honor the wake contract (``next_wake`` +
+        #: ``skip_span``, see API.md) keep idle skipping available; any
+        #: listener without it pins the loop to ticking every cycle.
         self.cycle_listeners: list[Callable[[int], None]] = []
         #: Attached :class:`~repro.telemetry.session.TelemetrySession`, if any.
         self.telemetry = None
@@ -63,26 +87,52 @@ class Simulator:
             from ..analysis.sanitizer import InvariantSanitizer
 
             self.sanitizer = InvariantSanitizer(network)
-            self.cycle_listeners.append(self.sanitizer.on_cycle)
+            self.cycle_listeners.append(self.sanitizer)
 
     def run(self, cycles: int) -> int:
         """Advance the simulation by ``cycles``; returns the current cycle."""
         end = self.cycle + cycles
         while self.cycle < end:
-            self._tick()
+            self._advance(end)
         return self.cycle
 
-    def run_until(self, predicate: Callable[[], bool], max_cycles: int) -> bool:
-        """Run until ``predicate()`` holds; False if ``max_cycles`` elapsed."""
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        max_cycles: int,
+        *,
+        monotone: bool = True,
+    ) -> bool:
+        """Run until ``predicate()`` holds; False if ``max_cycles`` elapsed.
+
+        With ``monotone=True`` (default) the predicate is re-checked only
+        at *wake points* — cycles the event-horizon scheduler actually
+        ticks.  That is exact for predicates that cannot flip on a fully
+        quiescent network (nothing they could observe changes inside a
+        skipped span): occupancy predicates like :meth:`drain`'s, ejection
+        counts, workload completion.  A predicate reading ``self.cycle``
+        or other time-derived state may flip mid-span; pass
+        ``monotone=False`` to force a per-cycle check (and per-cycle
+        ticking while quiescent).
+        """
         deadline = self.cycle + max_cycles
         while self.cycle < deadline:
             if predicate():
                 return True
-            self._tick()
+            if monotone:
+                self._advance(deadline)
+            else:
+                self._tick()
         return predicate()
 
     def drain(self, max_cycles: int = 200_000) -> bool:
-        """Run until the network is completely empty of flits and backlog."""
+        """Run until the network is completely empty of flits and backlog.
+
+        The occupancy predicate is monotone over quiescent spans (buffered,
+        backlog and in-network counts only change when something ticks), so
+        a fully quiescent network drains in O(in-flight events) ticks, not
+        O(cycles).
+        """
         def empty() -> bool:
             snap = self.network.occupancy_snapshot()
             return (
@@ -92,6 +142,64 @@ class Simulator:
             )
 
         return self.run_until(empty, max_cycles)
+
+    # -- event-horizon scheduling ---------------------------------------------
+
+    def _advance(self, end: int) -> None:
+        """Tick once, or skip a provably idle span (never past ``end``)."""
+        if self.skip_idle and self.network.is_quiescent() and self._skip_to_wake(end):
+            return
+        self._tick()
+
+    def _skip_to_wake(self, end: int) -> bool:
+        """From a quiescent boundary, jump to the next possible wake cycle.
+
+        Returns True if at least one cycle was skipped (``self.cycle``
+        advanced; the wake cycle itself is ticked by the caller's next
+        iteration), False when some component needs the current cycle
+        ticked or does not speak the wake contract.
+        """
+        cycle = self.cycle
+        network = self.network
+        horizon = min(
+            end,
+            network.next_event_cycle(cycle),
+            network.flow_control.next_wake(cycle),
+        )
+        if horizon <= cycle:
+            return False
+        watchdog_skip = getattr(self.watchdog, "skip_cycles", None)
+        if watchdog_skip is None:
+            # A custom watchdog predating the wake contract: its per-cycle
+            # observation cannot be replayed, so never skip under it.
+            return False
+        for listener in self.cycle_listeners:
+            next_wake = getattr(listener, "next_wake", None)
+            if next_wake is None or not hasattr(listener, "skip_span"):
+                return False
+            wake = next_wake(cycle)
+            if wake <= cycle:
+                return False
+            if wake < horizon:
+                horizon = wake
+        workload = self.workload
+        if workload is not None:
+            next_active = getattr(workload, "next_active_cycle", None)
+            if next_active is None:
+                return False
+            horizon = next_active(cycle, horizon, network)
+            if horizon <= cycle:
+                return False
+        # Cycles [cycle, horizon) are provably inert for every component;
+        # account for them in O(1) each and jump.
+        span = horizon - cycle
+        network.flow_control.skip_cycles(span)
+        network.flits_moved_this_cycle = 0
+        watchdog_skip(cycle, horizon)
+        for listener in self.cycle_listeners:
+            listener.skip_span(cycle, horizon)
+        self.cycle = horizon
+        return True
 
     # -- checkpoint/restore ---------------------------------------------------
 

@@ -177,3 +177,14 @@ class TimeSeriesSampler:
                 rid: ring_color_census(self.network, rid) for rid in self._rings
             }
         self.samples.append(sample)
+
+    # -- event-horizon wake contract (see API.md) --------------------------
+
+    def next_wake(self, cycle: int) -> int:
+        """Samples land on interval multiples; demand a tick there."""
+        rem = cycle % self.interval
+        return cycle if rem == 0 else cycle + (self.interval - rem)
+
+    def skip_span(self, start: int, end: int) -> None:
+        """Nothing to account: ``next_wake`` keeps every sample cycle
+        ticked, so a skipped span never contains one."""

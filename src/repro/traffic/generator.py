@@ -7,6 +7,8 @@ matching the x-axis of the paper's latency-throughput figures.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..network.flit import Packet
@@ -19,7 +21,18 @@ __all__ = ["SyntheticTraffic"]
 
 
 class SyntheticTraffic:
-    """Bernoulli open-loop workload over a traffic pattern."""
+    """Bernoulli open-loop workload over a traffic pattern.
+
+    Implements the event-horizon wake contract (see API.md):
+    :meth:`next_active_cycle` tells the engine the first cycle of a
+    quiescent span at which an injection can occur.  By default it draws
+    the very same per-cycle Bernoulli vectors :meth:`step` would have
+    drawn, so a skipped span consumes the RNG stream identically and the
+    run stays bit-identical to a ticked one.  ``fast_forward=True`` opts
+    into sampling the gap geometrically instead — statistically exact and
+    O(1) per gap, but a *different* RNG consumption, so recorded golden
+    traces no longer apply.
+    """
 
     def __init__(
         self,
@@ -27,6 +40,7 @@ class SyntheticTraffic:
         injection_rate: float,
         lengths: LengthDistribution | None = None,
         seed: int = 1,
+        fast_forward: bool = False,
     ):
         if injection_rate < 0:
             raise ValueError("injection_rate must be >= 0 flits/node/cycle")
@@ -38,12 +52,27 @@ class SyntheticTraffic:
         self.packets_created = 0
         #: Probability a node starts a packet on a given cycle.
         self.packet_probability = injection_rate / self.lengths.mean
+        self.fast_forward = fast_forward
+        #: Bernoulli row pre-drawn by ``next_active_cycle`` for the wake
+        #: cycle the engine is about to tick: ``(cycle, start_indices)``.
+        self._stash: tuple[int, np.ndarray] | None = None
 
     def step(self, cycle: int, network: Network) -> None:
         if self.packet_probability <= 0:
             return
-        n = network.topology.num_nodes
-        starts = np.nonzero(self.rng.random(n) < self.packet_probability)[0]
+        stash = self._stash
+        if stash is not None:
+            self._stash = None
+            if stash[0] != cycle:
+                raise RuntimeError(
+                    f"stashed injection row for cycle {stash[0]} was never "
+                    f"consumed (step called at cycle {cycle}); the engine "
+                    "must tick the cycle next_active_cycle returned"
+                )
+            starts = stash[1]
+        else:
+            n = network.topology.num_nodes
+            starts = np.nonzero(self.rng.random(n) < self.packet_probability)[0]
         for src in starts:
             src = int(src)
             dst = self.pattern.dest(src, self.rng)
@@ -61,9 +90,64 @@ class SyntheticTraffic:
             network.nics[src].offer(packet)
             self.packets_created += 1
 
+    def next_active_cycle(self, start: int, end: int, network: Network) -> int:
+        """First cycle in ``[start, end)`` at which :meth:`step` may inject.
+
+        Returns ``end`` when the whole span is provably silent.  When a
+        hit is found its Bernoulli row is stashed for the ``step`` call at
+        the returned cycle, keeping the RNG stream order exactly as if
+        every cycle had been ticked.
+        """
+        if self.packet_probability <= 0:
+            return end
+        if self._stash is not None:
+            # A row is already pending (run_until handed control back at
+            # this wake point); the engine must tick its cycle before any
+            # further span can open.
+            return self._stash[0]
+        n = network.topology.num_nodes
+        if self.fast_forward:
+            return self._next_active_geometric(start, end, n)
+        p = self.packet_probability
+        rng_random = self.rng.random
+        for cycle in range(start, end):
+            row = rng_random(n)
+            starts = np.nonzero(row < p)[0]
+            if starts.size:
+                self._stash = (cycle, starts)
+                return cycle
+        return end
+
+    def _next_active_geometric(self, start: int, end: int, n: int) -> int:
+        """O(1) gap sampling: statistically exact, different RNG stream.
+
+        The first cycle with >= 1 arrival is ``start + G - 1`` with ``G``
+        geometric over success probability ``1 - (1-p)^n``; the index of
+        the first firing node is then truncated-geometric over ``0..n-1``
+        (conditioned on at least one success), and the remaining nodes
+        after it fire independently with probability ``p`` each.
+        """
+        p = self.packet_probability
+        if p >= 1.0:
+            self._stash = (start, np.arange(n))
+            return start
+        q = 1.0 - p
+        p_any = 1.0 - q**n
+        gap = int(self.rng.geometric(p_any))
+        cycle = start + gap - 1
+        if cycle >= end:
+            return end
+        u = float(self.rng.random())
+        first = int(math.log1p(-u * p_any) / math.log(q))
+        first = min(max(first, 0), n - 1)
+        rest = first + 1 + np.nonzero(self.rng.random(n - first - 1) < p)[0]
+        self._stash = (cycle, np.concatenate(([first], rest)))
+        return cycle
+
     def stop(self) -> None:
         """Stop offering new packets (the drain phase of a measurement)."""
         self.packet_probability = 0.0
+        self._stash = None
 
     # -- checkpoint/restore ---------------------------------------------------
 
@@ -73,6 +157,9 @@ class SyntheticTraffic:
             "next_pid": self._next_pid,
             "packets_created": self.packets_created,
             "packet_probability": self.packet_probability,
+            # Pending when run_until's predicate fired at a wake cycle the
+            # engine has not ticked yet; part of the RNG stream contract.
+            "stash": self._stash,
         }
 
     def restore_state(self, state: dict) -> None:
@@ -80,3 +167,4 @@ class SyntheticTraffic:
         self._next_pid = state["next_pid"]
         self.packets_created = state["packets_created"]
         self.packet_probability = state["packet_probability"]
+        self._stash = state.get("stash")

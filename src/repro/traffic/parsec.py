@@ -259,6 +259,26 @@ class CoherenceWorkload:
             self.outstanding[txn.core] -= 1
             self.completed[txn.core] += 1
 
+    def next_active_cycle(self, start: int, end: int, network: Network) -> int:
+        """Event-horizon wake contract (see API.md) for the closed loop.
+
+        While cores are live (neither stopped nor done) every cycle draws
+        issue RNG, so no span may be skipped — return ``start``.  Once the
+        loop is stopped (drain) or done, :meth:`step` consumes no RNG and
+        its only effect is releasing service-queue messages and latching
+        ``finished_cycle``, both replayed exactly by waking at the right
+        cycles: immediately if ``finished_cycle`` is still unset, else at
+        the earliest service-ready cycle.
+        """
+        if not (self._stopped or self.done):
+            return start
+        if self.done and self.finished_cycle is None:
+            return start
+        if self._service_queue:
+            ready = min(when for when, _packet in self._service_queue)
+            return min(max(ready, start), end)
+        return end
+
     def stop(self) -> None:
         """Stop issuing new transactions (the drain phase of a measurement)."""
         self._stopped = True

@@ -75,6 +75,20 @@ class TestSetIterationRule:
         src = "for x in self._active_vcs:\n    pass\n"
         assert rules(src, rel="repro/metrics/report.py") == []
 
+    def test_order_free_reduction_is_fine(self):
+        """min/max/sum/any/all results are permutation-invariant, so a
+        generator over a kernel set directly inside one is deterministic."""
+        src = "r = min((v.stage_ready for v in self._active_vcs), default=0)\n"
+        assert rules(src, rel=self.KERNEL) == []
+        src = "ok = any(v.flits for v in self._routing_vcs)\n"
+        assert rules(src, rel=self.KERNEL) == []
+
+    def test_reduction_exemption_is_not_transitive(self):
+        """Only the comprehension handed to the reducer is exempt; a set
+        iterated elsewhere in the expression is still flagged."""
+        src = "r = min([x for x in sorted(s)] + [y for y in self._active_vcs])\n"
+        assert rules(src, rel=self.KERNEL) == ["set-iteration"]
+
 
 class TestMutableDefaultRule:
     def test_list_default_flagged(self):

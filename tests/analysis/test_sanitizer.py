@@ -110,7 +110,9 @@ class TestActivation:
         net = build_network("WBFC-1VC", Torus((4, 4)), cfg)
         sim = Simulator(net)
         assert isinstance(sim.sanitizer, InvariantSanitizer)
-        assert sim.cycle_listeners == [sim.sanitizer.on_cycle]
+        # Registered as the object itself (callable), so the engine can see
+        # its event-horizon wake contract (next_wake/skip_span).
+        assert sim.cycle_listeners == [sim.sanitizer]
 
     def test_env_enables(self, monkeypatch):
         monkeypatch.setenv("REPRO_SANITIZE", "1")

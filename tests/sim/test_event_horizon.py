@@ -1,0 +1,244 @@
+"""Event-horizon scheduling: skipping must be invisible and actually skip.
+
+The engine may jump over provably idle spans (see API.md, "Event-horizon
+scheduling").  These tests pin the two halves of that contract:
+
+* **Invisible** — a skipping run is bit-identical to a ticking run: same
+  measurement summary, same ejection counts, same RNG stream position,
+  across every flow-control family, open and closed loop, and through
+  checkpoints taken mid-span.
+* **Actually skips** — a quiescent network drains in O(in-flight events)
+  ticks and an idle network advances 100k cycles without ticking once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.metrics.stats import MetricsCollector
+from repro.sim.config import NEVER, SimulationConfig
+from repro.sim.spec import ScenarioSpec, prepare
+
+DESIGNS = ["WBFC-1VC", "WBFC-2VC", "WBFC-3VC", "DL-2VC", "CBS-1VC", "WBFC-FLIT-1VC"]
+
+#: Low enough that real idle gaps open up (the 0.004 spec below skips
+#: roughly three cycles in four), high enough that traffic still flows.
+IDLE_RATE = 0.004
+
+
+class TickCounter:
+    """Cycle listener speaking the wake contract; counts ticks vs skips."""
+
+    def __init__(self):
+        self.ticks = 0
+        self.skipped = 0
+
+    def __call__(self, cycle: int) -> None:
+        self.ticks += 1
+
+    def next_wake(self, cycle: int) -> int:
+        return NEVER
+
+    def skip_span(self, start: int, end: int) -> None:
+        self.skipped += end - start
+
+
+def spec_for(design: str, **overrides) -> ScenarioSpec:
+    kwargs = dict(
+        design=design,
+        topology="torus:4x4",
+        injection_rate=IDLE_RATE,
+        seed=11,
+        warmup=300,
+        measure=1200,
+    )
+    if design in ("CBS-1VC", "WBFC-FLIT-1VC"):
+        from repro.network.switching import Switching
+
+        kwargs["config"] = SimulationConfig(
+            num_vcs=1, buffer_depth=8, switching=Switching.WORMHOLE_NONATOMIC
+        )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+def run_measured(spec: ScenarioSpec, skip_idle: bool):
+    """Warmup + measured window; returns (summary, fingerprint)."""
+    prepared = prepare(spec)
+    sim = prepared.simulator
+    sim.skip_idle = skip_idle
+    sim.run(spec.warmup)
+    collector = MetricsCollector(prepared.network)
+    collector.begin(sim.cycle)
+    sim.run(spec.measure)
+    collector.end(sim.cycle)
+    fingerprint = (
+        sim.cycle,
+        prepared.network.packets_ejected,
+        prepared.workload.rng.bit_generator.state["state"],
+    )
+    return collector.summary(), fingerprint
+
+
+class TestSkipVsTickIdentity:
+    @pytest.mark.parametrize("design", DESIGNS)
+    def test_open_loop_bit_identical(self, design):
+        spec = spec_for(design)
+        ref_summary, ref_fp = run_measured(spec, skip_idle=False)
+        skip_summary, skip_fp = run_measured(spec, skip_idle=True)
+        assert skip_summary == ref_summary
+        # Same final cycle, same ejections, same RNG stream position: the
+        # skipped spans consumed the Bernoulli stream cycle-for-cycle.
+        assert skip_fp == ref_fp
+
+    @pytest.mark.parametrize("design", ["WBFC-2VC", "DL-2VC"])
+    def test_closed_loop_bit_identical(self, design):
+        from repro.experiments.designs import build_network
+        from repro.sim.engine import Simulator
+        from repro.traffic.parsec import CoherenceWorkload
+
+        def run(skip_idle):
+            net = build_network(design, "torus:4x4", SimulationConfig())
+            wl = CoherenceWorkload(
+                net, "canneal", transactions_per_core=6, seed=3
+            )
+            sim = Simulator(net, wl, skip_idle=skip_idle)
+            sim.run(2500)
+            return (sim.cycle, list(wl.completed), list(wl.issued), wl._next_pid)
+
+        assert run(True) == run(False)
+
+    def test_skipping_engages_at_low_rate(self):
+        # Not just identical — the fast path must actually fire, or every
+        # identity test above is vacuous.
+        spec = spec_for("WBFC-2VC")
+        prepared = prepare(spec)
+        sim = prepared.simulator
+        counter = TickCounter()
+        sim.cycle_listeners.append(counter)
+        sim.run(3000)
+        assert counter.ticks + counter.skipped == 3000
+        assert counter.skipped > 1000, (
+            f"only {counter.skipped} of 3000 cycles skipped at rate "
+            f"{IDLE_RATE}; the event horizon is not engaging"
+        )
+
+
+class TestQuiescentDrain:
+    def test_drain_takes_o_events_ticks(self):
+        spec = spec_for("WBFC-2VC", injection_rate=0.1)
+        prepared = prepare(spec)
+        sim, workload = prepared.simulator, prepared.workload
+        counter = TickCounter()
+        sim.cycle_listeners.append(counter)
+        sim.run(300)
+        workload.stop()
+        counter.ticks = counter.skipped = 0
+        assert sim.drain()
+        # Draining ~a dozen in-flight packets must cost ticks proportional
+        # to those events, not to the cycle budget.
+        assert counter.ticks < 200
+
+    def test_idle_network_advances_without_ticking(self):
+        spec = spec_for("WBFC-2VC", injection_rate=0.1)
+        prepared = prepare(spec)
+        sim, workload = prepared.simulator, prepared.workload
+        sim.run(300)
+        workload.stop()
+        assert sim.drain()
+        counter = TickCounter()
+        sim.cycle_listeners.append(counter)
+        start = sim.cycle
+        sim.run(100_000)
+        assert sim.cycle == start + 100_000
+        assert counter.ticks == 0
+        assert counter.skipped == 100_000
+
+    def test_contract_less_listener_disables_skipping(self):
+        # Graceful degradation: a legacy listener (no next_wake/skip_span)
+        # pins the loop to ticking every cycle — never wrong results.
+        spec = spec_for("WBFC-2VC", injection_rate=0.0)
+        prepared = prepare(spec)
+        sim = prepared.simulator
+        ticks = []
+        sim.cycle_listeners.append(ticks.append)
+        sim.run(500)
+        assert len(ticks) == 500
+
+
+class TestWakeStateCheckpoint:
+    def test_snapshot_at_pending_wake_point_restores_identically(self):
+        # run_until with a mid-gap cycle target hands control back at the
+        # *wake point* the skip landed on, before that cycle is ticked —
+        # the workload's pre-drawn Bernoulli row is still stashed.  A
+        # snapshot here captures that in-flight wake state, and a restored
+        # twin must consume it exactly like the run that never paused.
+        spec = spec_for("WBFC-2VC", measure=1200)
+        baseline = prepare(spec)
+        sim = baseline.simulator
+        sim.run_until(lambda: sim.cycle >= 381, 5000)
+        assert baseline.workload._stash is not None, (
+            "scenario drift: the stop no longer lands on a pending wake "
+            "point; pick a target cycle inside an idle gap"
+        )
+        snap = sim.snapshot()
+        ref_summary, ref_fp = _resume_measured(baseline, spec.measure)
+
+        twin = prepare(spec)
+        twin.simulator.restore(snap)
+        assert twin.simulator.cycle == sim.cycle - spec.measure
+        assert twin.workload._stash is not None
+        assert _resume_measured(twin, spec.measure) == (ref_summary, ref_fp)
+
+    def test_event_heap_survives_restore(self):
+        spec = spec_for("WBFC-2VC", injection_rate=0.1)
+        baseline = prepare(spec)
+        sim = baseline.simulator
+        sim.run(150)
+        snap = sim.snapshot()
+        reference = baseline.network.next_event_cycle(sim.cycle)
+
+        twin = prepare(spec)
+        twin.simulator.restore(snap)
+        assert twin.network.next_event_cycle(twin.simulator.cycle) == reference
+        # The restored heap must keep driving the horizon correctly.
+        sim.run(600)
+        twin.simulator.run(600)
+        assert twin.network.packets_ejected == baseline.network.packets_ejected
+
+
+def _resume_measured(prepared, measure):
+    sim = prepared.simulator
+    collector = MetricsCollector(prepared.network)
+    collector.begin(sim.cycle)
+    sim.run(measure)
+    collector.end(sim.cycle)
+    fingerprint = (
+        sim.cycle,
+        prepared.network.packets_ejected,
+        prepared.workload.rng.bit_generator.state["state"],
+    )
+    return collector.summary(), fingerprint
+
+
+class TestRunUntilWakePoints:
+    def test_monotone_predicate_checked_at_wake_points_only(self):
+        # A time-derived predicate can flip mid-span; with monotone=True
+        # the engine only looks at wake points, so it may sail past the
+        # target — exactly what the contract documents.
+        spec = spec_for("WBFC-2VC", injection_rate=0.0)
+        prepared = prepare(spec)
+        sim = prepared.simulator
+        target = sim.cycle + 123
+        hit = sim.run_until(lambda: sim.cycle == target, 1000, monotone=True)
+        assert not hit and sim.cycle == target + 877  # ran to the deadline
+
+    def test_non_monotone_forces_per_cycle_checks(self):
+        spec = spec_for("WBFC-2VC", injection_rate=0.0)
+        prepared = prepare(spec)
+        sim = prepared.simulator
+        target = sim.cycle + 123
+        hit = sim.run_until(lambda: sim.cycle == target, 1000, monotone=False)
+        assert hit and sim.cycle == target
