@@ -38,7 +38,7 @@ from .flowcontrol import (
 )
 from .metrics import MetricsCollector, saturation_throughput, sweep
 from .network import Network, Packet, Switching
-from .sim import DeadlockError, SimulationConfig, Simulator, Watchdog
+from .sim import SimulationConfig
 from .topology import (
     BidirectionalRing,
     HierarchicalRing,
@@ -48,6 +48,25 @@ from .topology import (
 )
 
 __version__ = "1.0.0"
+
+#: Engine-adjacent exports resolved on first use: importing :mod:`repro`
+#: must not load the cycle engine (the analytic passes depend on that —
+#: see ``tests/analysis/test_bounds.py::TestNoSimulatorConstruction``).
+_LAZY = ("Simulator", "Watchdog", "DeadlockError")
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from . import sim
+
+        value = getattr(sim, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
 
 __all__ = [
     "__version__",

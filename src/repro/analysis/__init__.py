@@ -22,22 +22,46 @@ Three coordinated passes, all rooted in the paper's correctness story:
 
 - :mod:`repro.analysis.lint` — a **determinism lint**: an AST pass over
   ``src/repro`` that forbids direct ``random``/``time`` use outside
-  ``repro.sim.rng``, unordered-``set`` iteration in the cycle kernel, and
-  mutable default arguments.
+  ``repro.sim.rng``, unordered-``set`` iteration in the cycle kernel,
+  identity-keyed ``dict`` iteration in the cycle kernel, and mutable
+  default arguments.
+
+- :mod:`repro.analysis.bounds` — an **analytic bound engine**: static
+  per-flow worst-case latency bounds and a saturation-throughput bound
+  derived from any :class:`~repro.sim.spec.ScenarioSpec` without
+  constructing a simulator, plus a validation harness that cross-checks
+  any measurement (cached or fresh) against those bounds.
 
 CLI::
 
     python -m repro.analysis certify WBFC-1VC --topology torus:4x4
     python -m repro.analysis certify UNRESTRICTED-1VC --expect-reject
+    python -m repro.analysis bounds WBFC-1VC --topology torus:8x8 --json
     python -m repro.analysis.lint src/repro
 """
 
+from .bounds import (
+    BoundsReport,
+    BoundsUnsupported,
+    BoundsValidation,
+    FlowBound,
+    compute_bounds,
+    compute_network_bounds,
+    validate_bounds,
+)
 from .certify import Certificate, certify, certify_network
 from .cdg import ChannelDependencyGraph, EscapeChannel, build_cdg
 from .sanitizer import InvariantSanitizer, SanitizerError
 from .scc import find_cycle, strongly_connected_components
 
 __all__ = [
+    "BoundsReport",
+    "BoundsUnsupported",
+    "BoundsValidation",
+    "FlowBound",
+    "compute_bounds",
+    "compute_network_bounds",
+    "validate_bounds",
     "Certificate",
     "certify",
     "certify_network",

@@ -1,0 +1,698 @@
+"""Analytic per-flow latency and saturation bounds from ScenarioSpecs.
+
+This is the cheap tier of the roadmap's analytic story: given any
+registered :class:`~repro.sim.spec.ScenarioSpec`, derive — **without
+constructing a simulator** — (a) per-flow contention structure from the
+routing function and topology, (b) a worst-case end-to-end packet latency
+bound per flow, and (c) a saturation-throughput bound from channel-load
+analysis over the pattern's static traffic matrix.  The same numbers then
+serve as a correctness oracle: the validation harness replays any result
+(from a :class:`~repro.sim.checkpoint.ResultStore` or a fresh run) and
+asserts the simulated p99 latency and accepted throughput stay under the
+bounds, so every existing experiment doubles as a cross-check of both the
+simulator and the math.
+
+Latency model (buffer-aware worst case, after Mifdaoui & Ayed)
+--------------------------------------------------------------
+The engine reuses the deadlock certifier's machinery: it builds the escape
+channel dependency graph (:mod:`repro.analysis.cdg`), contracts rings whose
+scheme proves an internal drain guarantee, and — exactly because the
+certified graph is acyclic — computes a worst-case *drain bound* ``D(v)``
+per vertex by recursion in reverse topological order (Tarjan's SCC order):
+
+* plain escape channel ``c``: every input VC of the router may be served
+  first, each holding the output until its worst successor clears and its
+  longest packet streams out::
+
+      D(c) = R * (h + Lmax * st + max_succ D(s))
+
+  with ``R = num_ports * num_vcs`` competitors, ``h`` the zero-load hop
+  pipeline, ``st`` the switch+link traversal delay and ``Lmax`` the longest
+  packet the workload can draw;
+
+* contracted ring vertex ``r`` of ``k`` routers: the scheme guarantees a
+  ``b``-flit bubble (:meth:`FlowControl.bound_bubble_flits`), so admitting
+  an ``Lmax``-flit packet takes at most ``ceil(Lmax / b)`` internal drain
+  rounds, behind every resident packet and every competing input VC::
+
+      D(r) = (k * depth + k * R) * ceil(Lmax / b)
+             * (k * (h + Lmax * st) + max_succ D(s))
+
+A flow's end-to-end bound walks its escape route (branching over the VC
+classes the scheme admits, Dateline included) and adds one extra service
+round of its injection channel as the source head-of-line allowance::
+
+    T(f) = (h + Lmax * st + D(first)) + sum_hops (h + D(v)) + (Lmax - 1) * st
+
+Designs with adaptive VCs may leave the escape path, so their per-hop term
+is bounded by the worst vertex anywhere: ``T(f) <= dist(s, d) * (h +
+max_v D(v)) + allowance + tail`` — sound for any minimal routing under
+Duato's protocol since the hop count of a minimal route never exceeds
+``dist(s, d)``.
+
+These bounds are *structural worst cases*: every arbitration loses to every
+competitor at every hop.  At operating points below the saturation bound,
+simulated p99 latencies sit far below them — which is exactly what makes a
+violation a high-signal bug report on the simulator or on the math.
+
+Saturation model (channel-load analysis)
+----------------------------------------
+The pattern's static matrix ``w(s, d)`` (:meth:`TrafficPattern.
+static_flows`) gives per-channel loads.  With injection rate ``r`` in
+flits/node/cycle, flow ``(s, d)`` carries ``r * w(s, d)`` flits/cycle, so
+for deterministic designs the bottleneck escape channel caps the rate at
+``r_sat = bw / max_c load(c)`` (ejection and injection links included).
+Adaptive designs spread load over minimal paths; a sound bound intersects
+the ideal capacity limit ``r * sum w * dist <= links * bw`` with per-node
+ejection and injection limits.  The accepted-throughput bound follows as
+``theta_sat = r_sat * sum_s g(s) / N`` with ``g(s)`` the probability a
+start event at ``s`` materializes a packet.  Above ``r_sat`` the accepted
+flow mix can shift, so the validation harness asserts the throughput and
+latency bounds only at operating points strictly below the saturation
+bound (plus an unconditional per-node ejection-capacity ceiling).
+
+Command line::
+
+    python -m repro.analysis bounds WBFC-1VC --topology torus:8x8 --json
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..network.flit import Packet
+from ..topology.base import LOCAL_PORT
+from .cdg import EscapeChannel, build_cdg
+from .scc import find_cycle, strongly_connected_components
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..metrics.stats import MeasurementSummary
+    from ..network.network import Network
+    from ..sim.spec import ScenarioSpec
+
+__all__ = [
+    "BoundsUnsupported",
+    "FlowBound",
+    "BoundsReport",
+    "BoundsValidation",
+    "compute_bounds",
+    "compute_network_bounds",
+    "validate_bounds",
+]
+
+
+@dataclass(frozen=True)
+class BoundsUnsupported:
+    """Explicit witness that a configuration has no analytic bound.
+
+    Every registered (topology, routing, flow control, pattern) combination
+    either gets a bound or one of these — never a silent gap.  ``witness``
+    carries the concrete evidence when one exists (e.g. the certifier's
+    dependence cycle for a scheme with no ring guarantee).
+    """
+
+    reason: str
+    witness: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FlowBound:
+    """Worst-case end-to-end latency bound of one (src, dst) flow."""
+
+    src: int
+    dst: int
+    hops: int
+    latency_bound: int
+
+
+@dataclass(frozen=True)
+class BoundsReport:
+    """Static per-flow latency and saturation bounds for one spec."""
+
+    design: str
+    topology: str
+    pattern: str
+    scheme: str
+    supported: bool
+    unsupported: BoundsUnsupported | None = None
+    #: Model assumptions the bounds are valid under, one line each.
+    assumptions: tuple[str, ...] = ()
+    #: Contracted-CDG size and per-ring exemption evidence.
+    num_vertices: int = 0
+    exempt_rings: dict[str, str] = field(default_factory=dict)
+    #: Largest per-vertex drain bound (cycles).
+    max_drain: int = 0
+    #: Per-flow latency bounds, sorted by (src, dst).
+    flows: tuple[FlowBound, ...] = ()
+    #: max over flows of ``latency_bound`` (cycles); 0 when no flows.
+    max_latency_bound: int = 0
+    #: The (src, dst) attaining ``max_latency_bound``.
+    worst_flow: tuple[int, int] | None = None
+    #: Offered injection rate (flits/node/cycle) at which the bottleneck
+    #: channel saturates; ``inf`` when the pattern generates no traffic.
+    saturation_injection_rate: float = 0.0
+    #: Accepted-throughput bound (flits/node/cycle) at saturation.
+    saturation_throughput: float = 0.0
+    #: ``sum_s g(s) / N``: mean packets materialized per start event.
+    generation_rate: float = 0.0
+    #: Human-readable label of the limiting channel.
+    bottleneck: str = ""
+
+    def report(self) -> str:
+        """Human-readable rendering, certifier style."""
+        head = f"{self.design} on {self.topology}, pattern {self.pattern}"
+        if not self.supported:
+            lines = [f"BOUNDS UNSUPPORTED: {head}"]
+            assert self.unsupported is not None
+            lines.append(f"  reason: {self.unsupported.reason}")
+            for label in self.unsupported.witness:
+                lines.append(f"    -> {label}")
+            return "\n".join(lines)
+        lines = [
+            f"BOUNDS: {head} ({self.scheme})",
+            f"  contracted CDG: {self.num_vertices} vertices, "
+            f"{len(self.exempt_rings)} exempt ring(s), "
+            f"max drain {self.max_drain} cycles",
+            f"  worst-case packet latency: {self.max_latency_bound} cycles"
+            + (
+                f" (flow {self.worst_flow[0]}->{self.worst_flow[1]})"
+                if self.worst_flow
+                else ""
+            ),
+            f"  saturation injection rate: "
+            f"{self.saturation_injection_rate:.4f} flits/node/cycle"
+            f" (bottleneck: {self.bottleneck})",
+            f"  saturation throughput: "
+            f"{self.saturation_throughput:.4f} flits/node/cycle accepted",
+        ]
+        for line in self.assumptions:
+            lines.append(f"  assumes: {line}")
+        return "\n".join(lines)
+
+    def to_dict(self, include_flows: bool = False) -> dict:
+        """JSON-safe form (``inf`` rendered as ``None``)."""
+
+        def _num(x: float) -> float | None:
+            return None if x == float("inf") else x
+
+        data: dict[str, Any] = {
+            "design": self.design,
+            "topology": self.topology,
+            "pattern": self.pattern,
+            "scheme": self.scheme,
+            "supported": self.supported,
+            "assumptions": list(self.assumptions),
+            "num_vertices": self.num_vertices,
+            "exempt_rings": dict(self.exempt_rings),
+            "max_drain": self.max_drain,
+            "num_flows": len(self.flows),
+            "max_latency_bound": self.max_latency_bound,
+            "worst_flow": list(self.worst_flow) if self.worst_flow else None,
+            "saturation_injection_rate": _num(self.saturation_injection_rate),
+            "saturation_throughput": _num(self.saturation_throughput),
+            "generation_rate": self.generation_rate,
+            "bottleneck": self.bottleneck,
+        }
+        if self.unsupported is not None:
+            data["unsupported"] = {
+                "reason": self.unsupported.reason,
+                "witness": list(self.unsupported.witness),
+            }
+        if include_flows:
+            data["flows"] = [
+                [f.src, f.dst, f.hops, f.latency_bound] for f in self.flows
+            ]
+        return data
+
+
+def _unsupported(
+    design: str,
+    topology: str,
+    pattern: str,
+    scheme: str,
+    reason: str,
+    witness: tuple[str, ...] = (),
+) -> BoundsReport:
+    return BoundsReport(
+        design=design,
+        topology=topology,
+        pattern=pattern,
+        scheme=scheme,
+        supported=False,
+        unsupported=BoundsUnsupported(reason=reason, witness=witness),
+    )
+
+
+def _drain_table(
+    network: "Network", lmax: int
+) -> tuple[dict, tuple[str, ...]] | BoundsUnsupported:
+    """Per-vertex drain bounds over the contracted escape CDG.
+
+    Returns ``(drain, witnessless-ok)`` on success or a
+    :class:`BoundsUnsupported` carrying the certifier-style witness when
+    the contracted graph is cyclic (no drain order exists — the exact
+    configurations the certifier rejects).
+    """
+    cfg = network.config
+    fc = network.flow_control
+    cdg = build_cdg(network)
+    adj = cdg.contract()
+    sccs = strongly_connected_components(adj)
+    for scc in sccs:
+        if len(scc) > 1 or scc[0] in adj.get(scc[0], []):
+            cycle = find_cycle(adj, scc)
+            return BoundsUnsupported(
+                reason=(
+                    "escape CDG has a dependence cycle; no drain order "
+                    "exists (configuration is not certified deadlock-free)"
+                ),
+                witness=tuple(cdg.expand_cycle(cycle)),
+            )
+
+    h = cfg.zero_load_hop_cycles
+    st = cfg.st_link_delay
+    competitors = network.topology.num_ports * cfg.num_vcs
+    drain: dict = {}
+    # Reverse topological: every SCC (all singletons here) is emitted
+    # after its successors, so the recursion is a single forward pass.
+    for scc in sccs:
+        v = scc[0]
+        dsucc = max((drain[s] for s in adj.get(v, ())), default=0)
+        if isinstance(v, EscapeChannel):
+            drain[v] = competitors * (h + lmax * st + dsucc)
+            continue
+        ring_id = v[1]
+        bubble = fc.bound_bubble_flits(ring_id)
+        if bubble is None or bubble < 1:
+            return BoundsUnsupported(
+                reason=(
+                    f"scheme {fc.name!r} contracted ring {ring_id} but "
+                    "provides no bubble-size bound "
+                    "(FlowControl.bound_bubble_flits returned None)"
+                ),
+                witness=(f"ring {ring_id} (contracted)",),
+            )
+        k = len(fc.rings[ring_id])
+        rounds = -(-lmax // bubble)
+        residents = k * cfg.buffer_depth
+        ring_service = k * (h + lmax * st) + dsucc
+        drain[v] = (residents + k * competitors) * rounds * ring_service
+    return drain, ()
+
+
+def _route_bound(
+    network: "Network",
+    drain: dict,
+    src: int,
+    dst: int,
+    lmax: int,
+) -> tuple[int, int, int]:
+    """Worst-case (cost, hops, first-hop drain) over the escape route walk.
+
+    Mirrors ``build_cdg``'s walk for one flow: the deterministic port from
+    ``routing.escape_port``, the admissible VC classes from the scheme's
+    pure ``certify_escape_classes`` hook (classes branch the walk, so the
+    result is the max over every class path).
+    """
+    topo = network.topology
+    routing = network.routing
+    fc = network.flow_control
+    cfg = network.config
+    h = cfg.zero_load_hop_cycles
+    pkt = Packet(pid=0, src=src, dst=dst, length=1)
+    memo: dict[tuple[int, int | None], tuple[int, int]] = {}
+
+    def rec(node: int, prev: int | None, prev_ring: str | None) -> tuple[int, int]:
+        key = (node, prev)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if node == dst:
+            memo[key] = (0, 0)
+            return (0, 0)
+        out_port = routing.escape_port(node, pkt)
+        if out_port == LOCAL_PORT:
+            memo[key] = (0, 0)
+            return (0, 0)
+        ring_id = fc.ring_of_output.get((node, out_port))
+        in_ring = prev_ring is not None and prev_ring == ring_id
+        classes = fc.certify_escape_classes(pkt, node, out_port, in_ring, prev)
+        nbr = topo.neighbor(node, out_port)
+        assert nbr is not None, f"escape route {src}->{dst} leaves the fabric"
+        best_cost, best_hops = 0, 0
+        for vc in classes:
+            chan = EscapeChannel(node, out_port, vc, ring_id)
+            vertex = (
+                ("ring", ring_id)
+                if ring_id is not None and ("ring", ring_id) in drain
+                else chan
+            )
+            tail_cost, tail_hops = rec(nbr[0], vc, ring_id)
+            cost = h + drain[vertex] + tail_cost
+            if cost > best_cost:
+                best_cost, best_hops = cost, tail_hops + 1
+        memo[key] = (best_cost, best_hops)
+        return (best_cost, best_hops)
+
+    cost, hops = rec(src, None, None)
+    # The injection channel's drain again, as the source head-of-line
+    # allowance (the packet queued ahead of us at the NIC must clear).
+    out_port = routing.escape_port(src, pkt)
+    first_drain = 0
+    if out_port != LOCAL_PORT:
+        ring_id = fc.ring_of_output.get((src, out_port))
+        for vc in fc.certify_escape_classes(pkt, src, out_port, False, None):
+            chan = EscapeChannel(src, out_port, vc, ring_id)
+            vertex = (
+                ("ring", ring_id)
+                if ring_id is not None and ("ring", ring_id) in drain
+                else chan
+            )
+            first_drain = max(first_drain, drain[vertex])
+    return cost, hops, first_drain
+
+
+def _is_deterministic(network: "Network") -> bool:
+    """True when every packet rides the escape route (no adaptive choice)."""
+    from ..routing.base import RoutingFunction
+
+    if network.config.num_adaptive_vcs == 0:
+        return True
+    return type(network.routing).adaptive_ports is RoutingFunction.adaptive_ports
+
+
+def compute_network_bounds(
+    network: "Network",
+    pattern_name: str,
+    lengths_spec: tuple = ("bimodal",),
+    *,
+    design_name: str = "",
+    topology_name: str = "",
+) -> BoundsReport:
+    """Bounds for an already-built network (no simulator involved)."""
+    from ..registry import topology_spec
+    from ..traffic.lengths import lengths_from_spec
+    from ..traffic.patterns import make_pattern
+
+    topo = network.topology
+    cfg = network.config
+    scheme = network.flow_control.name
+    design = design_name or scheme
+    try:
+        topo_label = topology_name or topology_spec(topo)
+    except ValueError:
+        topo_label = type(topo).__name__
+
+    lengths = lengths_from_spec(tuple(lengths_spec))
+    lmax = lengths.max_length
+    try:
+        pattern = make_pattern(pattern_name, topo)
+    except (ValueError, TypeError) as exc:
+        return _unsupported(
+            design, topo_label, pattern_name, scheme,
+            f"traffic pattern rejected this topology: {exc}",
+        )
+    flows = pattern.static_flows()
+    if flows is None:
+        return _unsupported(
+            design, topo_label, pattern_name, scheme,
+            f"pattern {pattern_name!r} has no static traffic matrix "
+            "(static_flows returned None)",
+        )
+
+    try:
+        table = _drain_table(network, lmax)
+    except (ValueError, TypeError, NotImplementedError) as exc:
+        # e.g. Dateline has no dateline placement for hierarchical rings:
+        # the CDG itself cannot be constructed for this combination.
+        table = BoundsUnsupported(
+            reason=f"escape CDG construction failed: {exc}"
+        )
+    if isinstance(table, BoundsUnsupported):
+        return BoundsReport(
+            design=design,
+            topology=topo_label,
+            pattern=pattern_name,
+            scheme=scheme,
+            supported=False,
+            unsupported=table,
+        )
+    drain, _ = table
+    max_drain = max(drain.values(), default=0)
+
+    h = cfg.zero_load_hop_cycles
+    st = cfg.st_link_delay
+    tail = (lmax - 1) * st
+    deterministic = _is_deterministic(network)
+
+    flow_bounds: list[FlowBound] = []
+    for src, dst, _w in sorted(flows):
+        if src == dst:
+            continue
+        if deterministic:
+            cost, hops, first = _route_bound(network, drain, src, dst, lmax)
+        else:
+            hops = topo.min_distance(src, dst)
+            cost = hops * (h + max_drain)
+            first = max_drain
+        bound = cost + (h + lmax * st + first) + tail
+        flow_bounds.append(FlowBound(src, dst, hops, bound))
+
+    if flow_bounds:
+        worst = max(flow_bounds, key=lambda f: f.latency_bound)
+        max_latency, worst_flow = worst.latency_bound, (worst.src, worst.dst)
+    else:
+        max_latency, worst_flow = 0, None
+
+    # -- saturation via channel loads -----------------------------------------
+    n = topo.num_nodes
+    bw = float(cfg.link_bandwidth_flits)
+    gen = [0.0] * n
+    for src, dst, w in flows:
+        gen[src] += w
+    gen_rate = sum(gen) / n if n else 0.0
+
+    loads: dict[str, float] = {}
+    for node in range(n):
+        if gen[node] > 0.0:
+            loads[f"injection n{node}"] = gen[node]
+    eject: dict[int, float] = {}
+    for src, dst, w in flows:
+        eject[dst] = eject.get(dst, 0.0) + w
+    for node, w in sorted(eject.items()):
+        loads[f"ejection n{node}"] = w
+
+    if deterministic:
+        link_load: dict[tuple[int, int], float] = {}
+        for src, dst, w in sorted(flows):
+            pkt = Packet(pid=0, src=src, dst=dst, length=1)
+            node = src
+            while node != dst:
+                port = network.routing.escape_port(node, pkt)
+                if port == LOCAL_PORT:
+                    break
+                link_load[(node, port)] = link_load.get((node, port), 0.0) + w
+                nbr = topo.neighbor(node, port)
+                assert nbr is not None
+                node = nbr[0]
+        for (node, port), w in sorted(link_load.items()):
+            loads[f"link n{node}:{topo.port_label(port)}"] = w
+    else:
+        # Minimal adaptive: ideal capacity cut — total flit-hops per cycle
+        # cannot exceed total directed-link bandwidth.
+        demand = sum(w * topo.min_distance(s, d) for s, d, w in flows)
+        capacity = len(topo.channels())
+        if demand > 0.0:
+            loads["ideal link capacity (sum w*dist / links)"] = demand / capacity
+
+    if loads:
+        bottleneck, peak = max(loads.items(), key=lambda kv: kv[1])
+        sat_rate = bw / peak
+    else:
+        bottleneck, sat_rate = "no traffic", float("inf")
+    sat_throughput = (
+        sat_rate * gen_rate if sat_rate != float("inf") else float("inf")
+    )
+
+    assumptions = (
+        f"longest packet Lmax = {lmax} flits "
+        f"({'deterministic escape routing' if deterministic else 'minimal adaptive routing'})",
+        "latency bound covers in-network traversal plus one head-of-line "
+        "source allowance; applies below the saturation bound",
+        "throughput bound assumes the offered traffic mix; above "
+        "saturation the accepted mix may shift",
+    )
+    return BoundsReport(
+        design=design,
+        topology=topo_label,
+        pattern=pattern_name,
+        scheme=scheme,
+        supported=True,
+        assumptions=assumptions,
+        num_vertices=len(drain),
+        exempt_rings={
+            ring_id: reason
+            for ring_id, reason in sorted(
+                (rid, network.flow_control.certify_ring_exempt(rid))
+                for rid in network.flow_control.rings
+            )
+            if reason is not None
+        },
+        max_drain=max_drain,
+        flows=tuple(flow_bounds),
+        max_latency_bound=max_latency,
+        worst_flow=worst_flow,
+        saturation_injection_rate=sat_rate,
+        saturation_throughput=sat_throughput,
+        generation_rate=gen_rate,
+        bottleneck=bottleneck,
+    )
+
+
+def compute_bounds(spec: "ScenarioSpec") -> BoundsReport:
+    """Analytic bounds for a declarative scenario spec.
+
+    Builds the network exactly as :func:`repro.sim.spec.prepare` would —
+    but never constructs (or imports) the simulation engine.  Any
+    configuration the registries or the schemes themselves refuse yields
+    an explicit :class:`BoundsUnsupported` witness instead of an
+    exception, mirroring the certifier's contract.
+    """
+    from ..experiments.designs import build_network
+    from ..registry import parse_topology
+
+    try:
+        topology = parse_topology(spec.topology)
+        network = build_network(
+            spec.design, topology, spec.config, fc_params=dict(spec.fc_params)
+        )
+    except (ValueError, TypeError, NotImplementedError) as exc:
+        return _unsupported(
+            spec.design, spec.topology, spec.pattern, spec.design,
+            f"configuration rejected by validation: {exc}",
+        )
+    return compute_network_bounds(
+        network,
+        spec.pattern,
+        spec.lengths,
+        design_name=spec.design,
+        topology_name=spec.topology,
+    )
+
+
+# -- validation harness -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BoundsValidation:
+    """Outcome of cross-checking one measurement against its bounds."""
+
+    report: BoundsReport
+    summary: "MeasurementSummary"
+    injection_rate: float
+    #: Strictly below the analytic saturation bound — the operating regime
+    #: in which the latency/throughput bounds apply.
+    below_saturation: bool
+    #: Human-readable record of every comparison made (or skipped).
+    checks: tuple[str, ...] = ()
+    #: Violated bounds; empty means the measurement is consistent.
+    violations: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        verdict = "CONSISTENT" if self.ok else "BOUND VIOLATION"
+        lines = [
+            f"{verdict}: {self.report.design} on {self.report.topology} "
+            f"@ {self.injection_rate} flits/node/cycle"
+        ]
+        lines.extend(f"  {line}" for line in self.checks)
+        lines.extend(f"  VIOLATION: {line}" for line in self.violations)
+        return "\n".join(lines)
+
+
+def validate_bounds(
+    spec: "ScenarioSpec",
+    *,
+    summary: "MeasurementSummary | None" = None,
+    store: Any = None,
+    watchdog: Any = None,
+) -> BoundsValidation:
+    """Cross-check a measurement of ``spec`` against its analytic bounds.
+
+    ``summary`` may be passed directly; otherwise the spec is executed
+    through :func:`repro.sim.spec.execute`, which replays a matching
+    :class:`~repro.sim.checkpoint.ResultStore` entry for free and only
+    simulates when no cached result exists.
+
+    Raises :class:`ValueError` when the spec has no analytic bounds —
+    validate only what :func:`compute_bounds` supports.
+    """
+    report = compute_bounds(spec)
+    if not report.supported:
+        assert report.unsupported is not None
+        raise ValueError(
+            f"no analytic bounds for {spec.design} on {spec.topology}: "
+            f"{report.unsupported.reason}"
+        )
+    if summary is None:
+        from ..sim.spec import execute
+
+        summary = execute(spec, store=store, watchdog=watchdog)
+
+    checks: list[str] = []
+    violations: list[str] = []
+    bw = float(spec.config.link_bandwidth_flits)
+
+    # Unconditional: accepted flits/node/cycle can never beat the per-node
+    # ejection link, regardless of operating point.
+    if summary.throughput <= bw:
+        checks.append(
+            f"throughput {summary.throughput:.4f} <= ejection capacity {bw:.4f}"
+        )
+    else:
+        violations.append(
+            f"throughput {summary.throughput:.4f} > ejection capacity {bw:.4f}"
+        )
+
+    below = spec.injection_rate < report.saturation_injection_rate
+    if not below:
+        checks.append(
+            f"offered rate {spec.injection_rate} >= saturation bound "
+            f"{report.saturation_injection_rate:.4f}: latency/throughput "
+            "bounds not applicable at this operating point"
+        )
+    else:
+        if summary.throughput <= report.saturation_throughput:
+            checks.append(
+                f"throughput {summary.throughput:.4f} <= saturation bound "
+                f"{report.saturation_throughput:.4f}"
+            )
+        else:
+            violations.append(
+                f"throughput {summary.throughput:.4f} > saturation bound "
+                f"{report.saturation_throughput:.4f}"
+            )
+        if summary.packets == 0:
+            checks.append("no packets measured: latency bound not exercised")
+        elif summary.p99_latency <= report.max_latency_bound:
+            checks.append(
+                f"p99 latency {summary.p99_latency:.1f} <= worst-case bound "
+                f"{report.max_latency_bound}"
+            )
+        else:
+            violations.append(
+                f"p99 latency {summary.p99_latency:.1f} > worst-case bound "
+                f"{report.max_latency_bound}"
+            )
+    return BoundsValidation(
+        report=report,
+        summary=summary,
+        injection_rate=spec.injection_rate,
+        below_saturation=below,
+        checks=tuple(checks),
+        violations=tuple(violations),
+    )

@@ -73,6 +73,20 @@ class Certificate:
                 lines.append(f"  induced by traffic: {pairs}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form for machine consumers (CI, dashboards)."""
+        return {
+            "ok": self.ok,
+            "scheme": self.scheme,
+            "topology": self.topology,
+            "num_channels": self.num_channels,
+            "num_edges": self.num_edges,
+            "exempt_rings": dict(self.exempt_rings),
+            "reasons": list(self.reasons),
+            "witness": list(self.witness),
+            "witness_traffic": [list(p) for p in self.witness_traffic],
+        }
+
 
 def _witness_from_cycle(
     cdg: ChannelDependencyGraph,

@@ -27,6 +27,16 @@ detectable, so this pass runs in CI over ``src/repro``:
     an order-free reduction (``min``/``max``/``sum``/``any``/``all``),
     whose result cannot depend on iteration order.
 
+``identity-dict-iteration``
+    Iterating ``.values()`` / ``.items()`` of a kernel dict keyed by
+    identity-hashed objects (``InputVC``/``OutputVC`` instances, e.g.
+    ``black_slots``).  Python dicts iterate in insertion order, which for
+    these maps is construction history: correct today, but silently
+    reordered by any refactor that builds the map differently.  Kernel
+    code must iterate the ring's position-ordered buffer lists instead.
+    Order-free reductions (``min``/``max``/``sum``/``any``/``all``) over
+    such a dict are exempt — their result cannot depend on order.
+
 ``mutable-default``
     A mutable default argument (list/dict/set literal or constructor) is
     shared across calls — state leaks between simulations.
@@ -56,6 +66,7 @@ _KERNEL_MODULES = (
     "network/buffers.py",
     "network/nic.py",
     "core/wbfc.py",
+    "core/flit_level.py",
     "sim/engine.py",
 )
 #: Builtins whose result is invariant under permutation of their (pure)
@@ -72,6 +83,9 @@ _KERNEL_SET_ATTRS = frozenset(
         "nonzero_keys",
     }
 )
+#: Known kernel dicts keyed by identity-hashed objects (InputVC/OutputVC):
+#: their iteration order is insertion history, not a stable key order.
+_KERNEL_IDENTITY_DICT_ATTRS = frozenset({"black_slots", "gray_slots"})
 
 
 @dataclass(frozen=True)
@@ -191,6 +205,19 @@ class _Visitor(ast.NodeVisitor):
             return f"set-typed attribute '{name}'"
         return None
 
+    def _identity_dict_view(self, node: ast.AST) -> str | None:
+        """``<identity-keyed dict>.values()`` / ``.items()``, or ``None``."""
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("values", "items")
+        ):
+            return None
+        base = _dotted(node.func.value)
+        if base is not None and base.split(".")[-1] in _KERNEL_IDENTITY_DICT_ATTRS:
+            return f"'{base}.{node.func.attr}()'"
+        return None
+
     def _check_iter(self, node: ast.AST, iter_expr: ast.AST) -> None:
         if not self.is_kernel:
             return
@@ -200,6 +227,14 @@ class _Visitor(ast.NodeVisitor):
                 node, "set-iteration",
                 f"kernel iterates {what}; order is nondeterministic — "
                 "iterate sorted(...) instead",
+            )
+        view = self._identity_dict_view(iter_expr)
+        if view is not None:
+            self._add(
+                node, "identity-dict-iteration",
+                f"kernel iterates {view}; identity-keyed dict order is "
+                "insertion history — iterate the ring's ordered buffer "
+                "list instead",
             )
 
     def visit_For(self, node: ast.For) -> None:

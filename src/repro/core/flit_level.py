@@ -106,6 +106,39 @@ class FlitLevelWBFC(FlowControl):
                 self.ci[(hop.node, ring_id)] = 0
                 self._downstream_of[(hop.node, ring_id)] = buffers[(pos + 1) % len(buffers)]
 
+    # -- static certification --------------------------------------------------
+
+    def certify_ring_exempt(self, ring_id: str) -> str | None:
+        """Theorem 1 at flit granularity: the ring always internally drains.
+
+        Flit-level WBFC initializes every ring with one gray and ``ML - 1``
+        black free *slots* (ML here is the longest packet, since worm-bubbles
+        are single flits) and its injection rules never let the last marked
+        slot be consumed, so one free flit entitlement survives any
+        injection.  Preconditions mirror ``validate()``, re-checked so the
+        certifier can score rings of a not-yet-validated configuration.
+        """
+        assert self.network is not None
+        cfg = self.network.config
+        ring = self.rings.get(ring_id)
+        if ring is None or cfg.switching is not Switching.WORMHOLE_NONATOMIC:
+            return None
+        ml = cfg.max_packet_length
+        slots = len(ring) * cfg.buffer_depth
+        if slots < ml + 1 or (len(ring) - 1) * cfg.buffer_depth < ml - 1:
+            return None
+        return (
+            f"flit-level WBFC Theorem 1: ring {ring_id} ({slots} flit "
+            f"slots) keeps a marked slot alive (ML={ml}: 1 gray + "
+            f"{ml - 1} black)"
+        )
+
+    def bound_bubble_flits(self, ring_id: str) -> int | None:
+        """Flit-sized worm-bubbles: the surviving entitlement is one flit."""
+        if self.certify_ring_exempt(ring_id) is None:
+            return None
+        return 1
+
     # -- slot arithmetic ------------------------------------------------------
 
     def whites(self, ovc: OutputVC) -> int:

@@ -149,6 +149,41 @@ def _run_sensitivity(report: ExperimentReport, scale) -> None:
     )
 
 
+def _run_bounds(report: ExperimentReport, scale) -> None:
+    from .bounds_overlay import bounds_overlay_study, render_bounds_overlay
+
+    study = bounds_overlay_study(4, scale=scale)
+    report.add(
+        "bounds",
+        "Analytic bounds vs simulated latency-load curves, 4x4 torus",
+        render_bounds_overlay(study),
+        csv_header=[
+            "pattern",
+            "design",
+            "rate",
+            "p99",
+            "p99_bound",
+            "throughput",
+            "throughput_bound",
+            "ok",
+        ],
+        csv_rows=[
+            [
+                pattern,
+                design,
+                v.injection_rate,
+                v.summary.p99_latency,
+                study.reports[(pattern, design)].max_latency_bound,
+                v.summary.throughput,
+                study.reports[(pattern, design)].saturation_throughput,
+                v.ok,
+            ]
+            for (pattern, design), vals in study.validations.items()
+            for v in vals
+        ],
+    )
+
+
 def _run_ext(report: ExperimentReport, scale) -> None:
     from .extensions import render_extensions, run_extensions
 
@@ -168,6 +203,7 @@ RUNNERS = {
     "fig13": _run_fig13,  # also produces fig15
     "fig14": _run_fig14,
     "fig16": _run_fig16,
+    "bounds": _run_bounds,
     "extensions": _run_ext,
     "sensitivity": _run_sensitivity,
 }

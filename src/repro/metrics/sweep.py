@@ -14,8 +14,6 @@ from typing import Callable, Mapping
 from ..experiments.designs import DESIGNS, Design, build_network
 from ..registry import LENGTH_DISTRIBUTIONS, topology_spec
 from ..sim.config import SimulationConfig
-from ..sim.deadlock import Watchdog
-from ..sim.engine import Simulator
 from ..sim.spec import ScenarioSpec, execute
 from ..topology.base import Topology
 from ..traffic.generator import SyntheticTraffic
@@ -188,7 +186,12 @@ def run_point(
     if spec is not None:
         return execute(spec)
     # Ad-hoc components (unregistered design/topology/lengths): same
-    # warmup-measure-drain protocol, plumbed directly.
+    # warmup-measure-drain protocol, plumbed directly.  The engine import
+    # is deferred to here so that spec-only callers (the analytic bound
+    # pass, CLI front-ends) never load the simulator.
+    from ..sim.deadlock import Watchdog
+    from ..sim.engine import Simulator
+
     network = build_network(design, topology, config, fc_params=fc_params)
     pattern = make_pattern(pattern_name, topology)
     workload = SyntheticTraffic(pattern, injection_rate, lengths=lengths, seed=seed)

@@ -1,11 +1,17 @@
-"""Simulation core: configuration, cycle engine, deadlock watchdog, RNG."""
+"""Simulation core: configuration, cycle engine, deadlock watchdog, RNG.
+
+The cycle engine and its heavier companions (watchdog, diagnostics,
+visualization) are exported lazily via module ``__getattr__``: importing
+:mod:`repro.sim` — which every network module does for its
+:class:`SimulationConfig` — must not pull in :mod:`repro.sim.engine`.
+The static analysis passes rely on this split (the analytic bound engine
+certifiably never touches the simulator; see
+``tests/analysis/test_bounds.py::TestNoSimulatorConstruction``), and
+CLI front-ends that only parse specs start faster for it.
+"""
 
 from .config import LONG_PACKET_FLITS, SHORT_PACKET_FLITS, SimulationConfig
-from .deadlock import DeadlockError, StarvationError, Watchdog
-from .engine import Simulator, Workload
-from .diagnostics import blocked_heads, format_blocked_heads
 from .rng import make_rng, spawn_rng
-from .visualize import RingTimeline, render_ring, ring_state
 
 __all__ = [
     "SimulationConfig",
@@ -24,3 +30,35 @@ __all__ = [
     "render_ring",
     "RingTimeline",
 ]
+
+#: Lazy exports: attribute name -> (submodule, attribute).
+_LAZY = {
+    "Simulator": ("engine", "Simulator"),
+    "Workload": ("engine", "Workload"),
+    "Watchdog": ("deadlock", "Watchdog"),
+    "DeadlockError": ("deadlock", "DeadlockError"),
+    "StarvationError": ("deadlock", "StarvationError"),
+    "blocked_heads": ("diagnostics", "blocked_heads"),
+    "format_blocked_heads": ("diagnostics", "format_blocked_heads"),
+    "ring_state": ("visualize", "ring_state"),
+    "render_ring": ("visualize", "render_ring"),
+    "RingTimeline": ("visualize", "RingTimeline"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(f".{module_name}", __name__), attr)
+    globals()[name] = value  # cache: __getattr__ runs once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -43,8 +43,35 @@ class TrafficPattern(ABC):
     def dest(self, src: int, rng: np.random.Generator) -> int | None:
         """Destination for a packet from ``src``; None to skip generation."""
 
+    def static_flows(self) -> tuple[tuple[int, int, float], ...] | None:
+        """The pattern's traffic matrix as ``(src, dst, weight)`` rows.
+
+        ``weight`` is the probability that one Bernoulli start event at
+        ``src`` yields a packet destined to ``dst`` (``dest`` may skip a
+        draw, so weights per source sum to <= 1; zero-weight rows are
+        omitted).  This is the static description the analytic bound
+        engine (:mod:`repro.analysis.bounds`) consumes for channel-load
+        analysis — it must agree with :meth:`dest`'s sampling law.
+
+        Returns ``None`` when the pattern has no static matrix; bounds on
+        such patterns are reported as unsupported.
+        """
+        return None
+
     def _skip_self(self, src: int, dst: int) -> int | None:
         return None if dst == src else dst
+
+
+def _permutation_flows(
+    pattern: TrafficPattern,
+) -> tuple[tuple[int, int, float], ...]:
+    """Flows of a deterministic permutation pattern (``dest`` ignores rng)."""
+    rows: list[tuple[int, int, float]] = []
+    for src in range(pattern.topology.num_nodes):
+        dst = pattern.dest(src, None)  # type: ignore[arg-type]
+        if dst is not None:
+            rows.append((src, dst, 1.0))
+    return tuple(rows)
 
 
 @TRAFFIC_PATTERNS.register("UR", "uniform_random")
@@ -59,6 +86,15 @@ class UniformRandom(TrafficPattern):
         if dst >= src:
             dst += 1
         return dst
+
+    def static_flows(self) -> tuple[tuple[int, int, float], ...]:
+        n = self.topology.num_nodes
+        if n < 2:
+            return ()
+        w = 1.0 / (n - 1)
+        return tuple(
+            (s, d, w) for s in range(n) for d in range(n) if d != s
+        )
 
 
 class _GridPattern(TrafficPattern):
@@ -86,6 +122,9 @@ class Transpose(_GridPattern):
         coords = topo.coords(src)  # type: ignore[union-attr]
         return self._skip_self(src, topo.node_at(tuple(reversed(coords))))  # type: ignore[union-attr]
 
+    def static_flows(self) -> tuple[tuple[int, int, float], ...]:
+        return _permutation_flows(self)
+
 
 @TRAFFIC_PATTERNS.register("BC", "bit_complement")
 class BitComplement(TrafficPattern):
@@ -102,6 +141,9 @@ class BitComplement(TrafficPattern):
     def dest(self, src: int, rng: np.random.Generator) -> int | None:
         return self._skip_self(src, (~src) & (self.topology.num_nodes - 1))
 
+    def static_flows(self) -> tuple[tuple[int, int, float], ...]:
+        return _permutation_flows(self)
+
 
 @TRAFFIC_PATTERNS.register("TO", "tornado")
 class Tornado(_GridPattern):
@@ -116,6 +158,9 @@ class Tornado(_GridPattern):
             (c + (k + 1) // 2 - 1) % k for c, k in zip(coords, topo.radices)
         )
         return self._skip_self(src, topo.node_at(shifted))  # type: ignore[union-attr]
+
+    def static_flows(self) -> tuple[tuple[int, int, float], ...]:
+        return _permutation_flows(self)
 
 
 @TRAFFIC_PATTERNS.register("BR", "bit_reverse")
@@ -134,6 +179,9 @@ class BitReverse(TrafficPattern):
     def dest(self, src: int, rng: np.random.Generator) -> int | None:
         rev = int(f"{src:0{self._bits}b}"[::-1], 2)
         return self._skip_self(src, rev)
+
+    def static_flows(self) -> tuple[tuple[int, int, float], ...]:
+        return _permutation_flows(self)
 
 
 @TRAFFIC_PATTERNS.register("HS", "hotspot")
@@ -156,6 +204,23 @@ class Hotspot(TrafficPattern):
             return self._skip_self(src, dst)
         return self._uniform.dest(src, rng)
 
+    def static_flows(self) -> tuple[tuple[int, int, float], ...]:
+        n = self.topology.num_nodes
+        if n < 2:
+            return ()
+        weights: dict[tuple[int, int], float] = {}
+        hot_w = self.fraction / len(self.hotspots)
+        uni_w = (1.0 - self.fraction) / (n - 1)
+        for s in range(n):
+            for h in self.hotspots:
+                if h != s:  # a self-directed hotspot draw is skipped
+                    weights[(s, h)] = weights.get((s, h), 0.0) + hot_w
+            if uni_w > 0.0:
+                for d in range(n):
+                    if d != s:
+                        weights[(s, d)] = weights.get((s, d), 0.0) + uni_w
+        return tuple((s, d, w) for (s, d), w in sorted(weights.items()))
+
 
 @TRAFFIC_PATTERNS.register("NN", "nearest_neighbor")
 class NearestNeighbor(_GridPattern):
@@ -174,6 +239,26 @@ class NearestNeighbor(_GridPattern):
         else:
             coords[dim] = (coords[dim] + direction) % k
         return self._skip_self(src, topo.node_at(tuple(coords)))  # type: ignore[union-attr]
+
+    def static_flows(self) -> tuple[tuple[int, int, float], ...]:
+        topo = self.topology
+        n = topo.num_nodes
+        draw_w = 1.0 / (2 * topo.num_dims)  # type: ignore[union-attr]
+        weights: dict[tuple[int, int], float] = {}
+        for s in range(n):
+            coords = topo.coords(s)  # type: ignore[union-attr]
+            for dim in range(topo.num_dims):  # type: ignore[union-attr]
+                k = topo.radices[dim]  # type: ignore[union-attr]
+                for direction in (+1, -1):
+                    c = list(coords)
+                    if isinstance(topo, Mesh):
+                        c[dim] = min(max(c[dim] + direction, 0), k - 1)
+                    else:
+                        c[dim] = (c[dim] + direction) % k
+                    d = topo.node_at(tuple(c))  # type: ignore[union-attr]
+                    if d != s:  # clamped/wrapped self-draws are skipped
+                        weights[(s, d)] = weights.get((s, d), 0.0) + draw_w
+        return tuple((s, d, w) for (s, d), w in sorted(weights.items()))
 
 
 #: Short names used by the experiment harness (the paper's abbreviations).

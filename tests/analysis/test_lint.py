@@ -90,6 +90,49 @@ class TestSetIterationRule:
         assert rules(src, rel=self.KERNEL) == ["set-iteration"]
 
 
+class TestIdentityDictIterationRule:
+    KERNEL = "repro/core/flit_level.py"
+
+    def test_values_iteration_flagged_in_kernel(self):
+        src = "def f(self):\n    for v in self.black_slots.values():\n        pass\n"
+        assert rules(src, rel=self.KERNEL) == ["identity-dict-iteration"]
+
+    def test_items_iteration_flagged_in_kernel(self):
+        src = "def f(self):\n    for k, v in self.gray_slots.items():\n        pass\n"
+        assert rules(src, rel=self.KERNEL) == ["identity-dict-iteration"]
+
+    def test_comprehension_flagged(self):
+        src = "vals = [v for v in self.black_slots.values()]\n"
+        assert rules(src, rel=self.KERNEL) == ["identity-dict-iteration"]
+
+    def test_order_free_reduction_is_exempt(self):
+        """sum/min/max/any/all over an identity-keyed dict cannot depend on
+        iteration order, so the reducer exemption applies here too."""
+        src = "total = sum(v for v in self.black_slots.values())\n"
+        assert rules(src, rel=self.KERNEL) == []
+        src = "ok = any(v > 0 for v in self.gray_slots.values())\n"
+        assert rules(src, rel=self.KERNEL) == []
+
+    def test_direct_reducer_call_not_flagged(self):
+        src = "total = sum(self.black_slots.values())\n"
+        assert rules(src, rel=self.KERNEL) == []
+
+    def test_other_dicts_not_flagged(self):
+        """Only the known identity-keyed maps; string-keyed dicts iterate
+        in a stable, content-determined order."""
+        src = "for v in self.rings.values():\n    pass\n"
+        assert rules(src, rel=self.KERNEL) == []
+
+    def test_non_kernel_modules_not_flagged(self):
+        src = "for v in self.black_slots.values():\n    pass\n"
+        assert rules(src, rel="repro/metrics/report.py") == []
+
+    def test_flit_level_is_a_kernel_module(self):
+        """The scheme owning black_slots/gray_slots is under kernel rules."""
+        src = "for x in set(y):\n    pass\n"
+        assert rules(src, rel=self.KERNEL) == ["set-iteration"]
+
+
 class TestMutableDefaultRule:
     def test_list_default_flagged(self):
         assert rules("def f(x=[]):\n    pass\n") == ["mutable-default"]

@@ -97,6 +97,51 @@ class TestCorruptionDetection:
             sim.run(1)
 
 
+class TestHierarchicalRingRecount:
+    """Deep recount must hold on the hierarchical-ring topology, whose
+    per-node ring membership (one local ring, hubs also on the global
+    ring) exercises the recount's ring bookkeeping differently from the
+    torus."""
+
+    def _bridged_hring_sim(self, interval=8, cycles=4_000):
+        from repro.network.bridges import HierarchicalBridges
+        from repro.routing.ring_routing import HierarchicalRingRouting
+        from repro.sim.rng import make_rng
+        from repro.topology.hierarchical_ring import HierarchicalRing
+
+        topo = HierarchicalRing(4, 4)
+        cfg = SimulationConfig(num_vcs=1, sanitize=True, sanitize_interval=interval)
+        net = build_network("WBFC-1VC", topo, cfg)
+        assert isinstance(net.routing, HierarchicalRingRouting)
+        bridges = HierarchicalBridges(net)
+        rng = make_rng(9)
+
+        class BridgedTraffic:
+            def step(self, cycle, network):
+                for src in range(topo.num_nodes):
+                    if rng.random() < 0.02:
+                        dst = int(rng.integers(0, topo.num_nodes - 1))
+                        if dst >= src:
+                            dst += 1
+                        bridges.send(src, dst, 5 if rng.random() < 0.5 else 1, cycle)
+
+        sim = Simulator(net, BridgedTraffic())
+        sim.run(cycles)
+        return net, sim, bridges
+
+    def test_deep_recount_passes_under_bridged_traffic(self):
+        net, sim, bridges = self._bridged_hring_sim()
+        assert sim.sanitizer is not None
+        assert sim.sanitizer.deep_checks_run > 0
+        assert len(bridges.delivered) > 100
+
+    def test_occupancy_drift_caught_on_hring(self):
+        net, sim, _ = self._bridged_hring_sim(interval=1, cycles=500)
+        net.buffered_flits += 1
+        with pytest.raises(SanitizerError, match="occupancy counters drifted"):
+            sim.run(1)
+
+
 class TestActivation:
     def test_off_by_default_registers_nothing(self, monkeypatch):
         monkeypatch.delenv("REPRO_SANITIZE", raising=False)
