@@ -11,6 +11,7 @@ Usage (from the repo root)::
     PYTHONPATH=src python benchmarks/perf/bench_core.py --label current
     PYTHONPATH=src python benchmarks/perf/bench_core.py --smoke --floor 5000
     PYTHONPATH=src python benchmarks/perf/bench_core.py --telemetry-guard
+    PYTHONPATH=src python benchmarks/perf/bench_core.py --backend-guard
 
 ``--label`` merges this run into ``BENCH_core.json`` under that key and,
 when both ``baseline`` and ``current`` are present, reports per-benchmark
@@ -72,6 +73,7 @@ def _run_cycles(
     cycles: int,
     seed: int = 1,
     telemetry: tuple = (),
+    backend: str = "object",
 ) -> int:
     """Drive one simulation and return the number of cycles executed."""
     topology = Torus((radix, radix))
@@ -82,6 +84,12 @@ def _run_cycles(
         from repro.telemetry import TelemetrySession
 
         TelemetrySession(network, telemetry).attach(sim)
+    if backend != "object":
+        from repro.registry import ENGINE_BACKENDS
+
+        # Let BackendUnsupported propagate: a benchmark that silently fell
+        # back to the object engine would record a lie.
+        sim = ENGINE_BACKENDS.create(backend, sim)
     sim.run(cycles)
     return sim.cycle
 
@@ -105,6 +113,22 @@ def bench_torus8_idle(cycles: int = 10_000) -> int:
     return _run_cycles("WBFC-1VC", 8, 0.02, cycles)
 
 
+def bench_torus8_busy(cycles: int = 3_000, backend: str = "object") -> int:
+    """8x8 torus, WBFC-1VC, uniform random at 0.30 flits/node/cycle.
+
+    The paper's calibrated high-load point: the network is busy ~99% of
+    cycles, so idle skipping cannot help — this pair is the benchmark the
+    SoA backend's speedup claim is recorded against (``backend_speedup``
+    in ``BENCH_core.json``).
+    """
+    return _run_cycles("WBFC-1VC", 8, 0.30, cycles, backend=backend)
+
+
+def bench_torus8_busy_soa(cycles: int = 3_000) -> int:
+    """The same busy point driven by ``backend="soa"``."""
+    return bench_torus8_busy(cycles, backend="soa")
+
+
 def bench_torus8_sweep(_cycles_unused: int = 0) -> int:
     """8x8 torus, WBFC-2VC, a 3-point latency-load sweep (warmup+measure)."""
     rates = [0.05, 0.15, 0.25]
@@ -120,8 +144,13 @@ BENCHMARKS: dict[str, tuple[Callable[[], int], str]] = {
     "torus4_wbfc_low": (bench_torus4_low, "4x4 torus WBFC-1VC UR @ 0.05"),
     "torus4_wbfc_high": (bench_torus4_high, "4x4 torus WBFC-1VC UR @ 0.40"),
     "torus8_wbfc_idle": (bench_torus8_idle, "8x8 torus WBFC-1VC UR @ 0.02"),
+    "torus8_wbfc_busy": (bench_torus8_busy, "8x8 torus WBFC-1VC UR @ 0.30 (object backend)"),
+    "torus8_wbfc_busy_soa": (bench_torus8_busy_soa, "8x8 torus WBFC-1VC UR @ 0.30 (soa backend)"),
     "torus8_wbfc2_sweep": (bench_torus8_sweep, "8x8 torus WBFC-2VC 3-rate sweep"),
 }
+
+#: (object, soa) benchmark pairs the backend speedup is computed over.
+BACKEND_PAIRS = {"torus8_wbfc_busy": "torus8_wbfc_busy_soa"}
 
 #: The benchmark the acceptance criteria and CI smoke test key on.
 HEADLINE = "torus4_wbfc_low"
@@ -154,15 +183,49 @@ def _git_rev() -> str:
         return "unknown"
 
 
+def run_backend_pair(obj_name: str, soa_name: str, repeats: int = 3) -> dict:
+    """Best-of-``repeats`` for an (object, soa) pair, interleaved.
+
+    Alternating the backends within each repetition exposes both to the
+    same machine-load drift, so the recorded speedup is a property of the
+    code, not of which benchmark ran during a quiet moment.
+    """
+    walls: dict[str, list[float]] = {obj_name: [], soa_name: []}
+    cycles: dict[str, int] = {}
+    for _ in range(repeats):
+        for name in (obj_name, soa_name):
+            runner, _ = BENCHMARKS[name]
+            t0 = time.perf_counter()
+            cycles[name] = runner()
+            walls[name].append(time.perf_counter() - t0)
+    return {
+        name: BenchResult(
+            name, cycles[name], min(walls[name]),
+            cycles[name] / min(walls[name]),
+        )
+        for name in (obj_name, soa_name)
+    }
+
+
 def run_all(repeats: int = 3) -> dict:
     results = {}
-    for name in BENCHMARKS:
-        res = run_benchmark(name, repeats=repeats)
-        results[name] = res.as_dict()
+    paired = set(BACKEND_PAIRS) | set(BACKEND_PAIRS.values())
+
+    def record(res: BenchResult) -> None:
+        results[res.name] = res.as_dict()
         print(
-            f"{name:24s} {res.cycles:>8d} cycles in {res.wall_s:7.3f}s "
+            f"{res.name:24s} {res.cycles:>8d} cycles in {res.wall_s:7.3f}s "
             f"-> {res.cycles_per_sec:>10.0f} cycles/sec"
         )
+
+    for name in BENCHMARKS:
+        if name in paired:
+            continue
+        record(run_benchmark(name, repeats=repeats))
+    for obj_name, soa_name in BACKEND_PAIRS.items():
+        pair = run_backend_pair(obj_name, soa_name, repeats=repeats)
+        for res in pair.values():
+            record(res)
     return {
         "git_rev": _git_rev(),
         "python": platform.python_version(),
@@ -190,6 +253,14 @@ def merge_and_write(label: str, run: dict, output: Path) -> dict:
             )
     if speedups:
         doc["speedup_current_vs_baseline"] = speedups
+    backend = {}
+    for obj_name, soa_name in BACKEND_PAIRS.items():
+        if obj_name in cur and soa_name in cur and cur[obj_name]["cycles_per_sec"] > 0:
+            backend[obj_name] = round(
+                cur[soa_name]["cycles_per_sec"] / cur[obj_name]["cycles_per_sec"], 2
+            )
+    if backend:
+        doc["backend_speedup_soa_vs_object"] = backend
     output.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc
 
@@ -341,6 +412,33 @@ def telemetry_guard(
     return 0
 
 
+def backend_guard(repeats: int = 3) -> int:
+    """CI gate: the SoA backend must not be slower than the object engine
+    on the busy benchmark.
+
+    Interleaves the two backends (object, soa, object, soa, ...) and
+    compares minima, so machine-load drift hits both sides equally.  The
+    recorded ~2x headroom means this only trips on a real regression —
+    a parity-breaking slowdown or an accidental fallback (which raises).
+    """
+    walls = {"object": [], "soa": []}
+    cycles = {}
+    for _ in range(repeats):
+        for backend in ("object", "soa"):
+            t0 = time.perf_counter()
+            cycles[backend] = bench_torus8_busy(backend=backend)
+            walls[backend].append(time.perf_counter() - t0)
+    obj_cps = cycles["object"] / min(walls["object"])
+    soa_cps = cycles["soa"] / min(walls["soa"])
+    print(f"backend guard: object {obj_cps:.0f} cycles/sec, "
+          f"soa {soa_cps:.0f} cycles/sec -> {soa_cps / obj_cps:.2f}x")
+    if soa_cps < obj_cps:
+        print("FAIL: soa backend slower than the object engine on the busy "
+              "benchmark", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="current",
@@ -355,6 +453,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--telemetry-guard", action="store_true",
                         help="fail if telemetry-off overhead vs the recorded "
                              "reference exceeds --tolerance")
+    parser.add_argument("--backend-guard", action="store_true",
+                        help="fail if the soa backend is slower than the "
+                             "object engine on the busy benchmark")
     parser.add_argument("--tolerance", type=float, default=0.02,
                         help="probe-seam overhead budget (fraction)")
     parser.add_argument("--noise", type=float, default=0.25,
@@ -382,6 +483,8 @@ def main(argv: list[str] | None = None) -> int:
         return profile_benchmark(args.profile)
     if args.smoke:
         return smoke(args.floor)
+    if args.backend_guard:
+        return backend_guard(repeats=args.repeats)
     if args.telemetry_guard:
         return telemetry_guard(
             args.tolerance, args.noise, args.output, args.ref_label,

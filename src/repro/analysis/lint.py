@@ -6,10 +6,10 @@ classes of bugs silently break that, and all three are statically
 detectable, so this pass runs in CI over ``src/repro``:
 
 ``direct-random``
-    ``import random`` or calls into ``random.*`` / ``np.random.*``
-    anywhere except :mod:`repro.sim.rng`, the one module allowed to own
-    entropy.  Seeded generators must be threaded from the config, never
-    conjured locally.
+    ``import random``, ``import numpy.random`` (any spelling), or calls
+    into ``random.*`` / ``np.random.*`` anywhere except
+    :mod:`repro.sim.rng`, the one module allowed to own entropy.  Seeded
+    generators must be threaded from the config, never conjured locally.
 
 ``direct-time``
     ``import time`` / ``time.*()`` / ``datetime.now()`` in library code:
@@ -68,6 +68,8 @@ _KERNEL_MODULES = (
     "core/wbfc.py",
     "core/flit_level.py",
     "sim/engine.py",
+    "sim/soa.py",
+    "sim/kernels.py",
 )
 #: Builtins whose result is invariant under permutation of their (pure)
 #: iterable argument; a comprehension over a kernel set directly inside
@@ -81,6 +83,10 @@ _KERNEL_SET_ATTRS = frozenset(
         "_active_vcs",
         "_pending_nic_nodes",
         "nonzero_keys",
+        # SoA backend stage sets (repro.sim.soa).
+        "_rc",
+        "_va",
+        "_sa",
     }
 )
 #: Known kernel dicts keyed by identity-hashed objects (InputVC/OutputVC):
@@ -138,6 +144,14 @@ class _Visitor(ast.NodeVisitor):
                     node, "direct-random",
                     "import of 'random'; use repro.sim.rng generators",
                 )
+            if (
+                alias.name.startswith("numpy.random")
+                and not self.allow_random
+            ):
+                self._add(
+                    node, "direct-random",
+                    "import of 'numpy.random'; use repro.sim.rng generators",
+                )
             if root == "time" and not self.allow_time:
                 self._add(
                     node, "direct-time",
@@ -146,11 +160,23 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
-        root = (node.module or "").split(".")[0]
+        module = node.module or ""
+        root = module.split(".")[0]
         if root == "random" and not self.allow_random:
             self._add(
                 node, "direct-random",
                 "import from 'random'; use repro.sim.rng generators",
+            )
+        if not self.allow_random and (
+            module.startswith("numpy.random")
+            or (
+                root == "numpy"
+                and any(alias.name == "random" for alias in node.names)
+            )
+        ):
+            self._add(
+                node, "direct-random",
+                "import of 'numpy.random'; use repro.sim.rng generators",
             )
         if root == "time" and not self.allow_time:
             self._add(

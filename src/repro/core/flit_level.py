@@ -28,6 +28,7 @@ from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Flit, Packet
 from ..network.switching import Switching
 from ..registry import FLOW_CONTROLS
+from ..sim.kernels import ALLOW, MARK, flit_injection_verdict
 from .colors import WBColor
 from .state import RingContext
 
@@ -171,24 +172,27 @@ class FlitLevelWBFC(FlowControl):
         mp = packet.length
         whites = self.whites(ovc)
         if mp == 1:
-            if whites >= 1:
-                return True
-            return self.gray_slots[ivc] >= 1 and self.ml[ring_id] > 1
-        owner = self.marker_owner.get(key)
-        if owner is not None and owner != packet.pid:
-            return False
-        ci = self.ci[key]
-        if whites >= 1:
-            if ci >= mp - 1:
-                return True
+            verdict = flit_injection_verdict(
+                whites, self.gray_slots[ivc], 1, 0, False, self.ml[ring_id]
+            )
+        else:
+            owner = self.marker_owner.get(key)
+            verdict = flit_injection_verdict(
+                whites,
+                self.gray_slots[ivc],
+                mp,
+                self.ci[key],
+                owner is not None and owner != packet.pid,
+                self.ml[ring_id],
+            )
+        if verdict == ALLOW:
+            return True
+        if verdict == MARK:
             self.black_slots[ivc] += 1
-            self.ci[key] = ci + 1
+            self.ci[key] += 1
             self.marker_owner[key] = packet.pid
             self._owned_keys[packet.pid] = key
             self.stats["marks"] += 1
-            return False
-        if self.gray_slots[ivc] >= 1 and ci > 0:
-            return True
         return False
 
     # -- event notifications --------------------------------------------------------

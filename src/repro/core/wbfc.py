@@ -83,10 +83,24 @@ from ..network.buffers import InputVC, OutputVC
 from ..network.flit import Packet
 from ..registry import FLOW_CONTROLS
 from ..sim.config import NEVER
-from .colors import CODE_TO_COLOR, WBColor
+from ..sim.kernels import (
+    ALLOW,
+    MARK,
+    displacement_pass,
+    idle_rotation_step,
+    mp_table,
+    wbfc_injection_verdict,
+    wbfc_transit_allows,
+)
+from .colors import WBColor
 from .state import RingContext
 
 __all__ = ["WormBubbleFlowControl"]
+
+# Back-compat aliases: the decision kernels moved to ``repro.sim.kernels``
+# (the engine backend seam); both simulation backends call them from there.
+_idle_rotation_step = idle_rotation_step
+_displacement_pass = displacement_pass
 
 
 class _CounterDict(dict):
@@ -115,102 +129,6 @@ class _CounterDict(dict):
     def __delitem__(self, key):
         self.nonzero_keys.discard(key)
         super().__delitem__(key)
-
-
-def _idle_rotation_step(colors: tuple) -> tuple[tuple, int]:
-    """One backward-displacement step of an all-bubble ring's colors.
-
-    Mirrors the backward pass of ``pre_cycle`` for the case where every
-    buffer is a worm-bubble: each black token swaps with the white or gray
-    one position behind it, the shared ``moved`` set preventing chained
-    transfers within one cycle.  Pure function of the color tuple.
-    """
-    k = len(colors)
-    out = list(colors)
-    moved: set[int] = set()
-    moves = 0
-    black = WBColor.BLACK
-    white = WBColor.WHITE
-    gray = WBColor.GRAY
-    for i in range(k):
-        j = i + 1 if i + 1 < k else 0
-        if i in moved or j in moved:
-            continue
-        ci = colors[i]
-        if colors[j] is black and (ci is white or ci is gray):
-            out[j] = ci
-            out[i] = black
-            moved.add(i)
-            moved.add(j)
-            moves += 1
-    return tuple(out), moves
-
-
-def _displacement_pass(k: int, color_key: int, bubble_mask: int) -> tuple:
-    """One proactive displacement pass (Section 3.6) as a pure function of
-    a ring's packed (colors, worm-bubbles) vector.
-
-    Returns ``(writes, new_color_key, displacements, forward)`` where
-    ``writes`` is a tuple of ``(ring_pos, color)`` buffer write-backs.
-    Memoized per distinct vector in ``WormBubbleFlowControl._pass_memo``:
-    a ring under traffic revisits a small set of vectors, so the two O(k)
-    scans below amortize to one dict lookup per dirty lane per cycle.
-    """
-    colors = [CODE_TO_COLOR[(color_key >> (i + i)) & 3] for i in range(k)]
-    bubble = [(bubble_mask >> i) & 1 for i in range(k)]
-    moved: set[int] = set()
-    black = WBColor.BLACK
-    white = WBColor.WHITE
-    gray = WBColor.GRAY
-    disp = fwd = 0
-    writes = []
-    if black in colors:
-        for i in range(k):
-            j = i + 1 if i + 1 < k else 0
-            if i in moved or j in moved:
-                continue
-            if (
-                colors[j] is black
-                and bubble[j]
-                and bubble[i]
-                and (colors[i] is white or colors[i] is gray)
-            ):
-                # Backward transfer: black drifts toward the injector that
-                # marked it, releasing its watch position.
-                colors[j] = colors[i]
-                colors[i] = black
-                moved.add(i)
-                moved.add(j)
-                writes.append(i)
-                writes.append(j)
-                disp += 1
-    for i in range(k):
-        j = i + 1 if i + 1 < k else 0
-        if i in moved or j in moved:
-            continue
-        c = colors[i]
-        if (
-            (c is black or c is gray)
-            and bubble[i]
-            and bubble[j]
-            and colors[j] is white
-            and not bubble[i - 1 if i > 0 else k - 1]
-        ):
-            # Forward transfer (demand-driven): a worm too long to consume
-            # the marked bubble is blocked right behind it; swap the mark
-            # with the white ahead so the worm can advance into a plain
-            # bubble.
-            colors[i] = white
-            colors[j] = c
-            moved.add(i)
-            moved.add(j)
-            writes.append(i)
-            writes.append(j)
-            fwd += 1
-    new_key = 0
-    for i in range(k):
-        new_key |= colors[i].code << (i + i)
-    return tuple((i, colors[i]) for i in sorted(writes)), new_key, disp, fwd
 
 
 class RingTokenLane:
@@ -427,10 +345,7 @@ class WormBubbleFlowControl(FlowControl):
         assert self.network is not None
         cfg = self.network.config
         ml = math.ceil(cfg.max_packet_length / cfg.buffer_depth)
-        self._mp_by_length = [0] + [
-            -(-length // cfg.buffer_depth)
-            for length in range(1, cfg.max_packet_length + 1)
-        ]
+        self._mp_by_length = mp_table(cfg.max_packet_length, cfg.buffer_depth)
         for ring_id, buffers in self.ring_buffers.items():
             self.ml[ring_id] = ml
             lane = RingTokenLane(buffers, self._stats_dict, self._traj_cache)
@@ -481,6 +396,16 @@ class WormBubbleFlowControl(FlowControl):
         # Colors were restored directly into the buffers (lanes were flushed
         # at capture, so no rotation is owed); recount the occupancy each
         # lane derives from its buffers and drop all memo bookmarks.
+        self._recount_lanes()
+
+    def _recount_lanes(self) -> None:
+        """Re-derive every lane's buffer-dependent state from its buffers.
+
+        Used after any bulk write that bypasses the color/owner setters —
+        checkpoint restore, and the SoA backend's snapshot flush — so the
+        lanes' occupancy counts, bubble masks, and memo bookmarks match the
+        buffers again.
+        """
         for lane in self._lane_list:
             lane.pending = 0
             lane.dirty = True
@@ -561,35 +486,20 @@ class WormBubbleFlowControl(FlowControl):
         if in_ring:
             # Equation (4): a same-ring move needs the empty buffer the
             # caller already verified — plus the marked-WB passage rule
-            # (see module notes): a marked bubble may be consumed only when
-            # the packet unmarks it (CH > 0, black) or when the worm is
-            # fully inside the ring, which guarantees its rearmost buffer
-            # drains and re-hosts the displaced color (the CBS transfer).
-            color = ivc.color
-            if color is WBColor.WHITE:
-                return True
+            # (see module notes), evaluated by the shared transit kernel.
             ctx = packet.current_ctx
             if ctx is None:
-                return False
-            if color is WBColor.GRAY:
-                # In-transit gray grab: the head takes the token along and
-                # the ring gets it back when the worm leaves (conserved);
-                # unlike an injection grab this conveys no entitlement.
-                return True
-            if ctx.ch > 0:
-                return True
-            if ctx.gray_entitled:
-                # Lemma 1 case (ii): the gray admission guaranteed ML black
-                # WBs in the ring, entitling the holder to ride through up
-                # to Mp-1 of them; we displace them as debt so the ring's
-                # token census is conserved.
-                return True
-            # Self-healing passage: a worm that fits one buffer, or whose
-            # tail has fully entered the ring, provably drains its rearmost
-            # buffer after this move, re-hosting the displaced color there.
-            return (
-                packet.length <= ivc.capacity
-                or ctx.flits_entered >= packet.length
+                return wbfc_transit_allows(
+                    ivc.color.code, False, 0, False, 0, 0, 0
+                )
+            return wbfc_transit_allows(
+                ivc.color.code,
+                True,
+                ctx.ch,
+                ctx.gray_entitled,
+                packet.length,
+                ivc.capacity,
+                ctx.flits_entered,
             )
         key = (node, ring_id)
         self._last_request[key] = cycle
@@ -599,42 +509,34 @@ class WormBubbleFlowControl(FlowControl):
         mp = self._mp_by_length[packet.length]
         color = ivc.color
         if mp == 1:
-            # Equation (5): any non-black WB (gray excluded when ML == 1,
-            # where gray is the ring's only token — see module notes).
             # Short packets never touch the shared counter, so a long
-            # packet's marker ownership does not gate them.
-            if color is WBColor.WHITE:
-                return True
-            return color is WBColor.GRAY and self.ml[ring_id] > 1
-        owner = self.marker_owner.get(key)
-        if owner is not None and owner != packet.pid:
-            # Another injector mid-reservation holds the shared counter.
-            return False
-        ci = self.ci[key]
-        if color is WBColor.WHITE:
-            if ci >= mp - 1:
-                return True
+            # packet's marker ownership does not gate them and CI is not
+            # even read (the key may be unranked under direct test pokes).
+            verdict = wbfc_injection_verdict(
+                color.code, 1, 0, False, self.ml[ring_id], self.black_reentry
+            )
+        else:
+            owner = self.marker_owner.get(key)
+            verdict = wbfc_injection_verdict(
+                color.code,
+                mp,
+                self.ci[key],
+                owner is not None and owner != packet.pid,
+                self.ml[ring_id],
+                self.black_reentry,
+            )
+        if verdict == ALLOW:
+            return True
+        if verdict == MARK:
             # Step 2: reserve — mark the white WB black, claim the counter.
             ivc.color = WBColor.BLACK
-            self.ci[key] = ci + 1
+            self.ci[key] += 1
             self.marker_owner[key] = packet.pid
             self._owned_keys[packet.pid] = key
             self._stats_dict["marks"] += 1
             if self.probes.active:
                 self.probes.wb_color(ivc, WBColor.WHITE, WBColor.BLACK, "mark")
                 self.probes.ci_update(node, ring_id, 1, "mark")
-            return False
-        if color is WBColor.GRAY and ci > 0:
-            # Equation (6), gray clause: the starvation token admits a
-            # partially-reserved packet immediately.
-            return True
-        if self.black_reentry and color is WBColor.BLACK and ci >= mp:
-            # Black re-entry extension (see module notes): spend one owned
-            # reservation to unmark-and-enter the black WB directly.  The
-            # threshold is Mp (not Mp-1): after burning one right the head
-            # still carries CH = Mp-1, enough to unmark its way past blacks
-            # until its tail has fully entered the ring.
-            return True
         return False
 
     # -- event notifications -----------------------------------------------------

@@ -61,6 +61,7 @@ _FORWARDED_ENV = (
     "REPRO_SANITIZE",
     "REPRO_SANITIZE_INTERVAL",
     "REPRO_RESULT_STORE",
+    "REPRO_BACKEND",
 )
 
 

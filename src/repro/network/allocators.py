@@ -9,13 +9,20 @@ from __future__ import annotations
 
 from typing import Sequence, TypeVar
 
+from ..sim.kernels import rr_pick_index, rr_rotation
+
 __all__ = ["RoundRobinArbiter"]
 
 T = TypeVar("T")
 
 
 class RoundRobinArbiter:
-    """Grants one of the current requesters, rotating priority each grant."""
+    """Grants one of the current requesters, rotating priority each grant.
+
+    The selection rule lives in :mod:`repro.sim.kernels` (the SoA backend
+    keeps the pointers in flat arrays and calls the same kernels); this
+    class is the object engine's stateful wrapper around it.
+    """
 
     __slots__ = ("_ptr",)
 
@@ -26,7 +33,7 @@ class RoundRobinArbiter:
         """Pick one element; priority rotates so every requester is served."""
         if not requesters:
             return None
-        choice = requesters[self._ptr % len(requesters)]
+        choice = requesters[rr_pick_index(self._ptr, len(requesters))]
         self._ptr += 1
         return choice
 
@@ -34,6 +41,6 @@ class RoundRobinArbiter:
         """A copy of ``items`` rotated by the current pointer (no grant)."""
         if not items:
             return []
-        offset = self._ptr % len(items)
+        offset = rr_rotation(self._ptr, len(items))
         self._ptr += 1
         return list(items[offset:]) + list(items[:offset])

@@ -14,6 +14,7 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from ..core.colors import WBColor
+from ..sim.kernels import ovc_admission
 from .flit import Flit, Packet
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -284,7 +285,14 @@ class OutputVC:
     @property
     def is_free_for_allocation(self) -> bool:
         """Atomic allocation: downstream VC unowned and known empty."""
-        return self.allocated_to is None and self.credits == self.downstream.capacity
+        return ovc_admission(
+            True,
+            False,
+            self.allocated_to is not None,
+            self.credits,
+            self.downstream.capacity,
+            0,
+        )
 
     @property
     def has_credit(self) -> bool:

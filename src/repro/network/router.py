@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from ..sim.kernels import ovc_admission
 from ..topology.base import LOCAL_PORT
 from .allocators import RoundRobinArbiter
 from .buffers import InputVC, OutputVC, VCState
@@ -443,19 +444,16 @@ class Router:
         return False
 
     def _ovc_admits(self, ovc: OutputVC, packet: Packet) -> bool:
-        """Downstream admission test per switching mode.
-
-        Atomic wormhole needs an empty, unallocated VC (Equation 3); VCT
-        needs room for the whole packet (Equation 1); non-atomic wormhole
-        needs one free flit slot (Equation 2).  Non-atomic modes still
-        serialize packets per output VC so flits never interleave.
-        """
-        if self._atomic:
-            return ovc.allocated_to is None and ovc.credits == ovc.downstream.capacity
-        if ovc.allocated_to is not None:
-            return False
-        need = packet.length if self._switching is Switching.VCT else 1
-        return ovc.credits >= need
+        """Downstream admission test per switching mode (see
+        :func:`repro.sim.kernels.ovc_admission`)."""
+        return ovc_admission(
+            self._atomic,
+            self._switching is Switching.VCT,
+            ovc.allocated_to is not None,
+            ovc.credits,
+            ovc.downstream.capacity,
+            packet.length,
+        )
 
     def _grant(
         self,

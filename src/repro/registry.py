@@ -39,6 +39,7 @@ __all__ = [
     "TOPOLOGIES",
     "TRAFFIC_PATTERNS",
     "LENGTH_DISTRIBUTIONS",
+    "ENGINE_BACKENDS",
     "parse_topology",
     "topology_spec",
 ]
@@ -92,8 +93,12 @@ class Registry:
         try:
             return self._entries[key]
         except KeyError:
+            import difflib
+
+            close = difflib.get_close_matches(key, self.names(), n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
             raise ValueError(
-                f"unknown {self.kind} {name!r}; choose from {self.names()}"
+                f"unknown {self.kind} {name!r}; choose from {self.names()}{hint}"
             ) from None
 
     def create(self, name: str, *args: Any, **kwargs: Any) -> Any:
@@ -164,6 +169,19 @@ TRAFFIC_PATTERNS = Registry(
 LENGTH_DISTRIBUTIONS = Registry(
     "length distribution",
     ("repro.traffic.lengths",),
+)
+
+#: Engine backends; factories take the fully built object
+#: :class:`~repro.sim.engine.Simulator` and return the engine that will
+#: step it (the backend seam — see API.md "Engine backends").  Backends
+#: are bit-identical by contract, so ``ScenarioSpec.content_hash``
+#: deliberately excludes the backend choice; a backend that cannot drive
+#: the given configuration raises
+#: :class:`~repro.sim.engine.BackendUnsupported` from its factory and the
+#: caller falls back to ``"object"``.
+ENGINE_BACKENDS = Registry(
+    "engine backend",
+    ("repro.sim.engine", "repro.sim.soa"),
 )
 
 

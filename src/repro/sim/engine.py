@@ -28,13 +28,30 @@ from __future__ import annotations
 import os
 from typing import TYPE_CHECKING, Callable, Protocol
 
+from ..registry import ENGINE_BACKENDS
 from .deadlock import Watchdog
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.network import Network
     from .checkpoint import Snapshot
 
-__all__ = ["Workload", "Simulator"]
+__all__ = ["Workload", "Simulator", "BackendUnsupported"]
+
+
+class BackendUnsupported(RuntimeError):
+    """A backend cannot drive this configuration (mirrors BoundsUnsupported).
+
+    Raised by an engine backend's factory when the built simulator falls
+    outside its supported matrix.  ``reason`` is a one-line human
+    explanation; ``witness`` is a tuple naming the offending dimensions,
+    machine-checkable by tests and recorded by ``prepare()`` when it falls
+    back to the object engine.
+    """
+
+    def __init__(self, reason: str, witness: tuple = ()):
+        super().__init__(reason)
+        self.reason = reason
+        self.witness = witness
 
 
 class Workload(Protocol):
@@ -276,3 +293,9 @@ class Simulator:
         for listener in self.cycle_listeners:
             listener(cycle)
         self.cycle = cycle + 1
+
+
+@ENGINE_BACKENDS.register("object")
+def _object_backend(simulator: Simulator) -> Simulator:
+    """The reference engine: the built ``Simulator`` already is one."""
+    return simulator

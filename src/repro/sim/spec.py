@@ -96,6 +96,13 @@ class ScenarioSpec:
     #: ``"full"``); empty means the probe bus stays inactive.  Folded into
     #: :meth:`content_hash` — a telemetry-on result is a different artifact.
     telemetry: tuple = ()
+    #: Engine backend name (:data:`~repro.registry.ENGINE_BACKENDS`).
+    #: Deliberately **excluded** from :meth:`content_hash`: backends are
+    #: bit-identical by contract, so the result store dedups across them.
+    #: The ``REPRO_BACKEND`` environment variable overrides this field at
+    #: ``prepare`` time; a backend that rejects the configuration falls
+    #: back to ``"object"`` (see ``PreparedScenario.backend_unsupported``).
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if self.injection_rate < 0:
@@ -127,6 +134,7 @@ class ScenarioSpec:
             "drain": self.drain,
             "fc_params": [[k, v] for k, v in self.fc_params],
             "telemetry": list(self.telemetry),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -146,11 +154,14 @@ class ScenarioSpec:
         """SHA-256 of the canonical JSON form; the result-store key.
 
         Canonical means sorted keys and minimal separators, so the hash is
-        independent of dict ordering, process, and platform.
+        independent of dict ordering, process, and platform.  The
+        ``backend`` field is excluded: backends are bit-identical by
+        contract, so the same point computed under either engine is the
+        same artifact and the store dedups across them.
         """
-        canonical = json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        payload = self.to_dict()
+        del payload["backend"]
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -167,6 +178,13 @@ class PreparedScenario:
     #: Attached :class:`~repro.telemetry.session.TelemetrySession` when the
     #: spec requested telemetry features; ``None`` otherwise.
     telemetry: Any = None
+    #: Engine backend actually driving ``simulator`` after resolution
+    #: (spec field, ``REPRO_BACKEND`` override, unsupported fallback).
+    backend: str = "object"
+    #: The :class:`~repro.sim.engine.BackendUnsupported` that forced a
+    #: fallback to the object engine, if any; ``None`` when the requested
+    #: backend was honored.
+    backend_unsupported: Any = None
 
 
 def prepare(spec: ScenarioSpec, *, watchdog: Any = None) -> PreparedScenario:
@@ -208,8 +226,38 @@ def prepare(spec: ScenarioSpec, *, watchdog: Any = None) -> PreparedScenario:
         from ..telemetry.session import TelemetrySession
 
         telemetry = TelemetrySession(network, spec.telemetry).attach(simulator)
+    # Backend resolution happens last, against the fully assembled (and
+    # telemetry-attached) simulator, so a backend sees exactly what it
+    # would have to drive.  The environment override wins over the spec
+    # field — the same precedence as REPRO_SANITIZE — so sweeps can be
+    # re-run under another engine without touching their specs.
+    import os
+
+    from ..registry import ENGINE_BACKENDS
+    from ..sim.engine import BackendUnsupported
+
+    backend = os.environ.get("REPRO_BACKEND") or spec.backend
+    engine = simulator
+    unsupported = None
+    if ENGINE_BACKENDS._norm(backend) != "object":
+        try:
+            engine = ENGINE_BACKENDS.create(backend, simulator)
+        except BackendUnsupported as exc:
+            # Bit-identical contract: the object engine computes the same
+            # result, so fall back silently and record the witness.
+            engine, backend, unsupported = simulator, "object", exc
+    else:
+        backend = "object"
     return PreparedScenario(
-        spec, topology, network, workload, collector, simulator, telemetry
+        spec,
+        topology,
+        network,
+        workload,
+        collector,
+        engine,
+        telemetry,
+        backend,
+        unsupported,
     )
 
 

@@ -34,6 +34,23 @@ class TestRandomRule:
         src = "import numpy as np\ng = np.random.default_rng(1)\n"
         assert rules(src, rel="repro/sim/rng.py") == []
 
+    def test_numpy_random_imports_flagged(self):
+        """Every import spelling that binds numpy's entropy module."""
+        assert rules("import numpy.random\n") == ["direct-random"]
+        assert rules("import numpy.random as npr\n") == ["direct-random"]
+        assert rules("from numpy.random import default_rng\n") == [
+            "direct-random"
+        ]
+        assert rules("from numpy import random\n") == ["direct-random"]
+
+    def test_numpy_random_imports_allowed_in_rng_module(self):
+        assert rules(
+            "from numpy.random import default_rng\n", rel="repro/sim/rng.py"
+        ) == []
+
+    def test_numpy_non_random_import_fine(self):
+        assert rules("from numpy import median\nimport numpy.linalg\n") == []
+
 
 class TestTimeRule:
     def test_import_time_flagged(self):
@@ -88,6 +105,17 @@ class TestSetIterationRule:
         iterated elsewhere in the expression is still flagged."""
         src = "r = min([x for x in sorted(s)] + [y for y in self._active_vcs])\n"
         assert rules(src, rel=self.KERNEL) == ["set-iteration"]
+
+    def test_soa_backend_is_a_kernel_module(self):
+        """The SoA engine's stage sets are under the same ordering rules
+        as the object engine's."""
+        src = "def f(self):\n    for i in self._va:\n        pass\n"
+        assert rules(src, rel="repro/sim/soa.py") == ["set-iteration"]
+        assert rules(src, rel="repro/sim/kernels.py") == ["set-iteration"]
+        assert rules(
+            "def f(self):\n    for i in sorted(self._sa):\n        pass\n",
+            rel="repro/sim/soa.py",
+        ) == []
 
 
 class TestIdentityDictIterationRule:
