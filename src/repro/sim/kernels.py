@@ -29,6 +29,7 @@ __all__ = [
     "flit_injection_verdict",
     "idle_rotation_step",
     "displacement_pass",
+    "displacement_pass_batch",
 ]
 
 #: Injection-verdict codes shared by the WBFC kernels: the caller applies
@@ -36,6 +37,11 @@ __all__ = [
 ALLOW = 1
 MARK = 0
 DENY = -1
+
+#: Lazily-filled cache of ``repro.core.colors.CODE_TO_COLOR``; the import
+#: must be deferred (see :func:`idle_rotation_step`) but not re-resolved on
+#: every displacement call.
+_CODE_TO_COLOR = None
 
 
 # -- arbiters ----------------------------------------------------------------
@@ -223,11 +229,17 @@ def displacement_pass(k: int, color_key: int, bubble_mask: int) -> tuple:
     of vectors, so the two O(k) scans below amortize to one dict lookup per
     dirty lane per cycle.
     """
-    from ..core.colors import CODE_TO_COLOR  # see idle_rotation_step
+    global _CODE_TO_COLOR
+    if _CODE_TO_COLOR is None:  # lazy: see idle_rotation_step
+        from ..core.colors import CODE_TO_COLOR
+
+        _CODE_TO_COLOR = CODE_TO_COLOR
 
     # All-integer scan: color codes (WHITE=0, GRAY=1, BLACK=2) straight out
     # of the packed key, bubbles as mask bits.  Codes only materialize into
     # WBColor members for the (small) write-back list at the very end.
+    # Conditions are ordered cheapest-first; none has side effects, so the
+    # reordering relative to the ``moved`` gate cannot change the outcome.
     codes = [(color_key >> (i + i)) & 3 for i in range(k)]
     moved = 0
     disp = fwd = 0
@@ -235,16 +247,16 @@ def displacement_pass(k: int, color_key: int, bubble_mask: int) -> tuple:
     if 2 in codes:
         for i in range(k):
             j = i + 1 if i + 1 < k else 0
-            bit = (1 << i) | (1 << j)
-            if moved & bit:
-                continue
             ci = codes[i]
             if (
-                codes[j] == 2
+                ci != 2
+                and codes[j] == 2
                 and (bubble_mask >> j) & 1
                 and (bubble_mask >> i) & 1
-                and ci != 2
             ):
+                bit = (1 << i) | (1 << j)
+                if moved & bit:
+                    continue
                 # Backward transfer: black drifts toward the injector that
                 # marked it, releasing its watch position.
                 codes[j] = ci
@@ -254,18 +266,19 @@ def displacement_pass(k: int, color_key: int, bubble_mask: int) -> tuple:
                 writes.append(j)
                 disp += 1
     for i in range(k):
-        j = i + 1 if i + 1 < k else 0
-        bit = (1 << i) | (1 << j)
-        if moved & bit:
-            continue
         c = codes[i]
+        if not c:
+            continue
+        j = i + 1 if i + 1 < k else 0
         if (
-            c
+            codes[j] == 0
             and (bubble_mask >> i) & 1
             and (bubble_mask >> j) & 1
-            and codes[j] == 0
             and not (bubble_mask >> (i - 1 if i > 0 else k - 1)) & 1
         ):
+            bit = (1 << i) | (1 << j)
+            if moved & bit:
+                continue
             # Forward transfer (demand-driven): a worm too long to consume
             # the marked bubble is blocked right behind it; swap the mark
             # with the white ahead so the worm can advance into a plain
@@ -278,10 +291,92 @@ def displacement_pass(k: int, color_key: int, bubble_mask: int) -> tuple:
             fwd += 1
     new_key = 0
     for i in range(k):
-        new_key |= codes[i] << (i + i)
+        c = codes[i]
+        if c:
+            new_key |= c << (i + i)
     return (
-        tuple((i, CODE_TO_COLOR[codes[i]]) for i in sorted(writes)),
+        tuple((i, _CODE_TO_COLOR[codes[i]]) for i in sorted(writes)),
         new_key,
         disp,
         fwd,
     )
+
+
+def displacement_pass_batch(k: int, color_keys, bubble_masks) -> list[tuple]:
+    """Vectorized :func:`displacement_pass` over many same-size rings.
+
+    ``color_keys`` and ``bubble_masks`` are integer ``np.ndarray``s of
+    equal length; returns one :func:`displacement_pass`-format entry per
+    lane, byte-identical to the scalar kernel (the differential test in
+    ``tests/sim/test_backend.py`` pins this).  The scans walk ring
+    positions in the same ascending order as the scalar kernel — the
+    lanes are mutually independent, so vectorizing across them cannot
+    reorder anything.  Used by the numpy backend to fill the displacement
+    memo for all missing vectors in one call.
+    """
+    import numpy as np  # deferred: keep this module importable without numpy
+
+    from ..core.colors import CODE_TO_COLOR  # see idle_rotation_step
+
+    keys = np.asarray(color_keys, dtype=np.int64)
+    shifts = 2 * np.arange(k, dtype=np.int64)
+    codes = (keys[:, None] >> shifts) & 3
+    bub = ((np.asarray(bubble_masks, dtype=np.int64)[:, None] >> np.arange(k)) & 1).astype(bool)
+    moved = np.zeros_like(bub)
+    wrote = np.zeros_like(bub)
+    lanes = keys.shape[0]
+    disp = np.zeros(lanes, dtype=np.int64)
+    fwd = np.zeros(lanes, dtype=np.int64)
+    for i in range(k):
+        j = i + 1 if i + 1 < k else 0
+        sel = (
+            ~moved[:, i]
+            & ~moved[:, j]
+            & (codes[:, j] == 2)
+            & bub[:, j]
+            & bub[:, i]
+            & (codes[:, i] != 2)
+        )
+        if not sel.any():
+            continue
+        codes[sel, j] = codes[sel, i]
+        codes[sel, i] = 2
+        moved[sel, i] = moved[sel, j] = True
+        wrote[sel, i] = wrote[sel, j] = True
+        disp[sel] += 1
+    for i in range(k):
+        j = i + 1 if i + 1 < k else 0
+        prev = i - 1 if i > 0 else k - 1
+        sel = (
+            ~moved[:, i]
+            & ~moved[:, j]
+            & (codes[:, i] != 0)
+            & bub[:, i]
+            & bub[:, j]
+            & (codes[:, j] == 0)
+            & ~bub[:, prev]
+        )
+        if not sel.any():
+            continue
+        codes[sel, j] = codes[sel, i]
+        codes[sel, i] = 0
+        moved[sel, i] = moved[sel, j] = True
+        wrote[sel, i] = wrote[sel, j] = True
+        fwd[sel] += 1
+    # Exact integer sum of disjoint powers of two: permutation-invariant,
+    # so this reduction is exempt from the kernel ordering audit.
+    new_keys = (codes << shifts).sum(axis=1)
+    entries = []
+    for lane in range(lanes):
+        positions = np.flatnonzero(wrote[lane])
+        entries.append(
+            (
+                tuple(
+                    (int(p), CODE_TO_COLOR[int(codes[lane, p])]) for p in positions
+                ),
+                int(new_keys[lane]),
+                int(disp[lane]),
+                int(fwd[lane]),
+            )
+        )
+    return entries

@@ -2,12 +2,14 @@
 
 The object engine walks a graph of ``InputVC``/``OutputVC``/``Router``
 objects every cycle; this backend flattens that graph into parallel flat
-arrays indexed by ``idx = node * num_ports + port`` and drives the exact
-same phase schedule over them.  The win is locality and dispatch: the hot
-loops touch small Python lists of ints instead of chasing attributes
-through ``__slots__`` objects and property setters, and the WBFC ring
-color state packs into one integer per ring (2 bits per buffer), so the
-displacement pass is a memoized pure-integer kernel call.
+arrays indexed by ``idx = (node * num_ports + port) * num_vcs + vc`` and
+drives the exact same phase schedule over them.  The win is locality and
+dispatch: the hot loops touch small Python lists of ints instead of
+chasing attributes through ``__slots__`` objects and property setters,
+and the WBFC ring color state packs into one integer per ring (2 bits
+per buffer), so the displacement pass is a memoized pure-integer kernel
+call.  The :mod:`repro.sim.vectorized` backend subclasses this engine
+and swaps the hot arrays for numpy ndarrays with masked phase selection.
 
 **Bit-identity contract.**  For every supported configuration this engine
 produces results byte-for-byte identical to the object engine: the same
@@ -17,11 +19,13 @@ state tree, so a run may hand over between backends mid-flight in either
 direction.  The contract is what lets ``ScenarioSpec.content_hash``
 exclude the backend choice.
 
-**Supported matrix.**  Torus / unidirectional ring / bidirectional ring
-topologies, DOR / ring routing, WBFC (atomic wormhole) or flit-level WBFC
-(non-atomic wormhole), one VC per port, open-loop synthetic traffic (no
-``fast_forward``), no telemetry/probe subscribers, no sanitizer, no
-cycle listeners, the stock :class:`~repro.sim.deadlock.Watchdog`.
+**Supported matrix.**  Torus / mesh / unidirectional ring / bidirectional
+ring topologies, DOR / ring / Duato minimal-adaptive routing, WBFC
+(atomic wormhole, any VC count), flit-level WBFC (non-atomic wormhole,
+single VC), or Dateline (atomic wormhole, two escape classes), open-loop
+synthetic traffic (no ``fast_forward``) or the closed-loop coherence
+workload, no telemetry/probe subscribers, no sanitizer, no cycle
+listeners, the stock :class:`~repro.sim.deadlock.Watchdog`.
 Anything else raises :class:`~repro.sim.engine.BackendUnsupported` with a
 machine-checkable witness, and ``prepare()`` falls back to the object
 engine (recorded in ``PreparedScenario.backend_unsupported``).
@@ -29,10 +33,13 @@ engine (recorded in ``PreparedScenario.backend_unsupported``).
 Shared-live vs. arrayed state: NIC queues, packets, ring contexts, the
 flow control's counter dicts and stats, and the network's O(1) occupancy
 and activity counters are mutated in place (the object graph and the
-arrays agree on them at all times).  Only the per-buffer pipeline state
-(flits deque binding, owner, stage, ready cycle, route, colors, credits)
-and the event calendars live in arrays, written back by ``_flush()`` at
-snapshot boundaries and before any watchdog raise.
+arrays agree on them at all times).  Dateline's hooks touch only that
+shared-live state (its ``_balance`` dict, ring contexts, and static
+buffer attributes), so this engine calls them directly instead of
+mirroring them.  Only the per-buffer pipeline state (flits deque binding,
+owner, stage, ready cycle, route, colors, credits) and the event
+calendars live in arrays, written back by ``_flush()`` at snapshot
+boundaries and before any watchdog raise.
 
 Idle-ring token rotation is *eager* here: the object engine defers the
 all-bubble backward pass onto a :class:`~repro.core.wbfc.RingTokenLane`
@@ -79,11 +86,15 @@ def _check_supported(sim: Simulator) -> None:
     """Raise :class:`BackendUnsupported` unless ``sim`` is in the matrix."""
     from ..core.flit_level import FlitLevelWBFC
     from ..core.wbfc import WormBubbleFlowControl
+    from ..flowcontrol.dateline import DatelineFlowControl
     from ..routing.dor import DimensionOrderRouting
+    from ..routing.duato import DuatoAdaptiveRouting
     from ..routing.ring_routing import RingRouting
+    from ..topology.mesh import Mesh
     from ..topology.ring import BidirectionalRing, UnidirectionalRing
     from ..topology.torus import Torus
     from ..traffic.generator import SyntheticTraffic
+    from ..traffic.parsec import CoherenceWorkload
 
     def reject(reason: str, *witness) -> None:
         raise BackendUnsupported(f"soa backend: {reason}", witness)
@@ -91,31 +102,42 @@ def _check_supported(sim: Simulator) -> None:
     net = sim.network
     cfg = net.config
     topo = net.topology
-    if type(topo) not in (Torus, UnidirectionalRing, BidirectionalRing):
+    if type(topo) not in (Torus, Mesh, UnidirectionalRing, BidirectionalRing):
         reject("unsupported topology", "topology", type(topo).__name__)
-    if type(net.routing) not in (DimensionOrderRouting, RingRouting):
+    if type(net.routing) not in (
+        DimensionOrderRouting,
+        RingRouting,
+        DuatoAdaptiveRouting,
+    ):
         reject("unsupported routing", "routing", type(net.routing).__name__)
     fc = net.flow_control
     if type(fc) is WormBubbleFlowControl:
         if cfg.switching is not Switching.WORMHOLE_ATOMIC:
             reject("wbfc needs atomic wormhole", "switching", cfg.switching.value)
-    elif type(fc) is not FlitLevelWBFC:
+    elif type(fc) is FlitLevelWBFC:
+        if cfg.num_vcs != 1:
+            reject(
+                "flit-level wbfc is single-VC only",
+                "num_vcs",
+                cfg.num_vcs,
+                cfg.num_escape_vcs,
+            )
+    elif type(fc) is DatelineFlowControl:
+        if cfg.switching is not Switching.WORMHOLE_ATOMIC:
+            reject(
+                "dateline needs atomic wormhole", "switching", cfg.switching.value
+            )
+    else:
         reject("unsupported flow control", "flow_control", fc.name)
-    if cfg.num_vcs != 1 or cfg.num_escape_vcs != 1:
-        reject(
-            "single-VC configurations only",
-            "num_vcs",
-            cfg.num_vcs,
-            cfg.num_escape_vcs,
-        )
     wl = sim.workload
     if wl is not None:
-        if type(wl) is not SyntheticTraffic:
+        if type(wl) is SyntheticTraffic:
+            if wl.fast_forward:
+                # Fast-forward draws a different RNG stream; results would
+                # not be bit-identical to the object engine's ticked run.
+                reject("fast-forward workloads", "workload", "fast_forward")
+        elif type(wl) is not CoherenceWorkload:
             reject("unsupported workload", "workload", type(wl).__name__)
-        if wl.fast_forward:
-            # Fast-forward draws a different RNG stream; results would not
-            # be bit-identical to the object engine's ticked run.
-            reject("fast-forward workloads", "workload", "fast_forward")
     if net.probes.active:
         reject("probe subscribers attached", "telemetry", "probes")
     if sim.telemetry is not None:
@@ -153,39 +175,73 @@ class SoAEngine:
         self._atomic = net._atomic
         self._N = net.topology.num_nodes
         self._P = net.topology.num_ports
+        self._V = cfg.num_vcs
+        self._PV = self._P * self._V
+        self._nev = cfg.num_escape_vcs
+        self._has_adaptive = cfg.num_adaptive_vcs > 0
         self._fc = net.flow_control
         self._routing = net.routing
 
-        # idx = node * P + port; with one VC per port this addresses every
-        # input buffer (port 0 is the NIC staging slot).
+        from ..core.flit_level import FlitLevelWBFC
+        from ..core.wbfc import WormBubbleFlowControl
+
+        fc = self._fc
+        if type(fc) is WormBubbleFlowControl:
+            self._fc_kind = "wbfc"
+        elif type(fc) is FlitLevelWBFC:
+            self._fc_kind = "flit"
+        else:
+            self._fc_kind = "dateline"
+        #: Static escape-VC choice tuple, or ``None`` when the scheme picks
+        #: dynamically (Dateline — called live, including its balance-bit
+        #: side effect, exactly once per escape attempt like the router).
+        self._esc_static = (0,) if self._fc_kind != "dateline" else None
+        #: Schemes whose ``on_grant`` releases an injection marker.
+        self._fc_marks = self._fc_kind != "dateline"
+
+        # idx = (node * P + port) * V + vc; port 0 holds the NIC staging
+        # slots, one per VC.
         self._ivcs = [
-            port_list[0] for router in net.routers for port_list in router.inputs
+            ivc
+            for router in net.routers
+            for port_list in router.inputs
+            for ivc in port_list
         ]
         self._idx_of = {id(ivc): i for i, ivc in enumerate(self._ivcs)}
-        n = len(self._ivcs)
         self._cap = [ivc.capacity for ivc in self._ivcs]
         self._ring = [ivc.ring_id for ivc in self._ivcs]
 
-        # Channel wiring: upstream (node, out_port) -> downstream idx.
-        self._out_down: list[int | None] = [None] * n
-        P = self._P
+        # Channel wiring at port granularity: upstream (node, out_port) ->
+        # downstream *base* index (its VC-0 buffer; + out_vc addresses the
+        # granted plane).
+        P, V = self._P, self._V
+        self._out_base: list[int | None] = [None] * (self._N * P)
         for src, out_port, dst, in_port in net.topology.channels():
-            self._out_down[src * P + out_port] = dst * P + in_port
+            self._out_base[src * P + out_port] = (dst * P + in_port) * V
         # (node, out_port) -> ring_id fed by that output (in-ring test).
         table = self._fc._ring_out_table
         self._ring_out: list[str | None] = (
-            [rid for row in table for rid in row] if table else [None] * n
+            [rid for row in table for rid in row]
+            if table
+            else [None] * (self._N * P)
         )
-        # Banked-CI reclaim watch buffer per (node, ring_id) key.
-        self._watch = {
-            key: self._idx_of[id(ivc)]
-            for key, ivc in self._fc._downstream_of.items()
-        }
+        # Banked-CI reclaim watch buffer per (node, ring_id) key (WBFC
+        # family only; Dateline has no counter bank).
+        self._watch = (
+            {
+                key: self._idx_of[id(ivc)]
+                for key, ivc in self._fc._downstream_of.items()
+            }
+            if self._fc_kind != "dateline"
+            else {}
+        )
 
-        if self._atomic:
+        if self._fc_kind == "wbfc":
             self._pre_cycle = self._pre_cycle_wbfc
-        else:
+        elif self._fc_kind == "flit":
             self._pre_cycle = self._pre_cycle_flit
+        else:
+            self._pre_cycle = self._pre_cycle_none
 
         #: Per-tick counter batch, drained by ``_tick``: [buffered delta,
         #: flits moved, buffer writes, buffer reads, xbar, link, va grants].
@@ -208,32 +264,49 @@ class SoAEngine:
         self._st = [_ST_CODE[ivc._state] for ivc in self._ivcs]
         self._ready = [ivc.stage_ready for ivc in self._ivcs]
         self._outp = [ivc.out_port for ivc in self._ivcs]
+        self._outv = [ivc.out_vc for ivc in self._ivcs]
         self._rcand = [ivc.route_candidates for ivc in self._ivcs]
-        self._vafr = [ivc.va_first_request for ivc in self._ivcs]
+        # ``va_first_request`` uses a -1 sentinel for "never requested" so
+        # the numpy subclass can hold it in an integer plane; ``_flush``
+        # maps it back to the object graph's ``None``.
+        self._vafr = [
+            -1 if ivc.va_first_request is None else ivc.va_first_request
+            for ivc in self._ivcs
+        ]
         self._octx = [ivc.occupant_ctx for ivc in self._ivcs]
         self._cred = [0] * n
         self._alloc: list = [None] * n
+        self._allocb = [False] * n
         for i, ivc in enumerate(self._ivcs):
             feeder = ivc.feeder
             if feeder is not None:
                 self._cred[i] = feeder.credits
-                self._alloc[i] = feeder.allocated_to
+                allocated = feeder.allocated_to
+                self._alloc[i] = allocated
+                self._allocb[i] = allocated is not None
 
         self._rc = {i for i in range(n) if self._st[i] == 1}
         self._va = {i for i in range(n) if self._st[i] == 2}
         self._sa = {i for i in range(n) if self._st[i] == 3}
-        self._va_didx: list[int | None] = [None] * n
+        #: Escape-route derivatives, refreshed by RC (stale outside VA):
+        #: escape port, downstream base index (-1 when unconnected or
+        #: LOCAL), and the in-ring continuation flag.
+        self._escp = [0] * n
+        self._va_dbase = [-1] * n
         self._va_inring = [False] * n
         for i in sorted(self._va):
             self._route_aux(i, self._rcand[i][1])
-        # Active VCs keep their downstream index live too: SA and the send
-        # path read it instead of re-deriving ``out_down[base + out_port]``.
-        out_down = self._out_down
-        P = self._P
+        #: Granted downstream index (-1 for LOCAL ejection or none): SA and
+        #: the send path read it instead of re-deriving base + out_vc.
+        self._odidx = [-1] * n
+        out_base = self._out_base
+        P, PV = self._P, self._PV
         for i in sorted(self._sa):
             out_port = self._outp[i]
             if out_port:
-                self._va_didx[i] = out_down[(i - i % P) + out_port]
+                base = out_base[(i // PV) * P + out_port]
+                assert base is not None
+                self._odidx[i] = base + self._outv[i]
 
         net = self.network
         idx_of = self._idx_of
@@ -257,10 +330,10 @@ class SoAEngine:
             self._sa_out.extend(a._ptr for a in r._sa_output_arbiters)
 
         fc = self._fc
-        if self._atomic:
+        self._lane_of: list[int | None] = [None] * n
+        if self._fc_kind == "wbfc":
             lanes = fc._lane_list
             self._lane_k = [len(lane.buffers) for lane in lanes]
-            self._lane_of: list[int | None] = [None] * n
             self._ring_pos = [0] * n
             self._rk = []
             self._rbub = []
@@ -282,8 +355,7 @@ class SoAEngine:
                 self._rbub.append(mask)
                 self._rocc.append(occ)
             self._rdirty = [True] * len(lanes)
-        else:
-            self._lane_of = [None] * n
+        elif self._fc_kind == "flit":
             self._black = [0] * n
             self._gray = [0] * n
             black_slots = fc.black_slots
@@ -304,32 +376,35 @@ class SoAEngine:
         Afterwards the objects are exactly the state an object-engine run
         would hold at this cycle boundary: snapshots, restores, and direct
         inspection all see the contract state.  The arrays stay valid (this
-        only reads them), so ticking may continue after a flush.
+        only reads them), so ticking may continue after a flush.  Numeric
+        fields pass through ``int()`` so the numpy subclass never leaks
+        ndarray scalars into the object graph or its snapshots.
         """
         for idx, ivc in enumerate(self._ivcs):
             ivc.flits = self._buf[idx]
             ivc._owner = self._own[idx]
             ivc._state = _ST_ENUM[self._st[idx]]
-            ivc.stage_ready = self._ready[idx]
+            ivc.stage_ready = int(self._ready[idx])
             out_port = self._outp[idx]
             ivc.out_port = out_port
-            ivc.out_vc = 0 if out_port is not None else None
+            ivc.out_vc = self._outv[idx]
             ivc.route_candidates = self._rcand[idx]
-            ivc.va_first_request = self._vafr[idx]
+            vafr = self._vafr[idx]
+            ivc.va_first_request = int(vafr) if vafr >= 0 else None
             ivc.occupant_ctx = self._octx[idx]
             feeder = ivc.feeder
             if feeder is not None:
-                feeder.credits = self._cred[idx]
+                feeder.credits = int(self._cred[idx])
                 feeder.allocated_to = self._alloc[idx]
 
         fc = self._fc
-        if self._atomic:
+        if self._fc_kind == "wbfc":
             for li, lane in enumerate(fc._lane_list):
-                key = self._rk[li]
+                key = int(self._rk[li])
                 for pos, b in enumerate(lane.buffers):
                     b._color = CODE_TO_COLOR[(key >> (pos * 2)) & 3]
             fc._recount_lanes()
-        else:
+        elif self._fc_kind == "flit":
             for ring in self._fl_rings:
                 for idx in ring:
                     ivc = self._ivcs[idx]
@@ -466,10 +541,12 @@ class SoAEngine:
         if events:
             cred = self._cred
             alloc = self._alloc
+            allocb = self._allocb
             for idx, is_tail in events:
                 cred[idx] += 1
                 if is_tail:
                     alloc[idx] = None
+                    allocb[idx] = False
         events = self._arr.pop(cycle, None)
         if events:
             deliver = self._deliver
@@ -495,7 +572,7 @@ class SoAEngine:
         was_front = not buf
         buf.append(flit)
         acc = self._acc
-        if idx % self._P != 0:
+        if idx % self._PV >= self._V:  # any port but LOCAL
             acc[0] += 1
         acc[2] += 1
         packet = flit.packet
@@ -554,14 +631,22 @@ class SoAEngine:
         if not pending:
             return
         nics = net.nics
-        P = self._P
+        PV = self._PV
+        V = self._V
+        st = self._st
         for node in sorted(pending) if len(pending) > 1 else list(pending):
             nic = nics[node]
             if not nic.queue:
                 net.note_nic_pending(node, False)
                 continue
-            idx = node * P
-            if self._st[idx] != 0:
+            base = node * PV
+            # First IDLE staging slot among the LOCAL port's VCs, exactly
+            # like ``NIC.load``; none idle leaves the node pending.
+            for vc in range(V):
+                idx = base + vc
+                if st[idx] == 0:
+                    break
+            else:
                 continue
             packet = nic.queue.popleft()
             buf = self._buf[idx]
@@ -569,7 +654,7 @@ class SoAEngine:
                 buf.append(flit)
             self._own[idx] = packet
             self._ready[idx] = cycle + self._routing_delay
-            self._st[idx] = 1
+            st[idx] = 1
             self._rc.add(idx)
             if not nic.queue:
                 net.note_nic_pending(node, False)
@@ -583,47 +668,61 @@ class SoAEngine:
         ready = self._ready
         buf = self._buf
         route = self._routing.route
-        P = self._P
-        # idx order == (node, port) order == the object's per-node scan.
+        PV = self._PV
+        # idx order == (node, port, vc) order == the object's per-node scan.
         for i in sorted(self._rc):
             if st[i] == 1 and cycle >= ready[i]:
-                adaptive, escape = route(i // P, buf[i][0].packet)
+                adaptive, escape = route(i // PV, buf[i][0].packet)
                 self._rcand[i] = (adaptive, escape)
                 self._route_aux(i, escape)
                 ready[i] = cycle + self._vc_alloc_delay
                 self._rc.discard(i)
                 st[i] = 2
                 self._va.add(i)
-                self._vafr[i] = None
+                self._vafr[i] = -1
 
     def _route_aux(self, i: int, escape: int) -> None:
         """Precompute the VA-time derivatives of a fresh escape route.
 
-        ``didx``/``in_ring`` depend only on ``(i, escape)`` and the escape
+        ``dbase``/``in_ring`` depend only on ``(i, escape)`` and the escape
         route is only rewritten by RC, so computing them here keeps the
-        per-cycle VA retry of a blocked head down to two array reads.
+        per-cycle VA retry of a blocked head down to a few array reads.
         """
+        self._escp[i] = escape
         if escape == 0:
-            self._va_didx[i] = None
+            self._va_dbase[i] = -1
             self._va_inring[i] = False
             return
-        base = i - i % self._P
-        self._va_didx[i] = self._out_down[base + escape]
+        pb = (i // self._PV) * self._P
+        base = self._out_base[pb + escape]
+        self._va_dbase[i] = -1 if base is None else base
         # Sticky escape: a head continuing along the ring it already rides
-        # stays on the escape path (there are no adaptive VCs here, so the
-        # adaptive attempt the object engine would skip is simply absent).
+        # stays on the escape path; ``ring_id`` is only set on escape VCs,
+        # so the test mirrors ``FlowControl.is_in_ring_move`` exactly.
         self._va_inring[i] = (
-            i != base
-            and self._ring[i] is not None
-            and self._ring[i] == self._ring_out[base + escape]
+            self._ring[i] is not None
+            and self._ring[i] == self._ring_out[pb + escape]
         )
 
     # -- flow-control pre-cycle ------------------------------------------------
+
+    def _pre_cycle_none(self, cycle: int) -> None:
+        """Schemes without per-cycle token maintenance (Dateline)."""
 
     def _pre_cycle_wbfc(self, cycle: int) -> None:
         fc = self._fc
         if fc.reclaim_banked_ci and fc.ci.nonzero_keys:
             self._reclaim_wbfc(cycle)
+        self._displacement_sweep(cycle)
+
+    def _displacement_sweep(self, cycle: int) -> None:
+        """Run the memoized displacement kernel over every dirty lane.
+
+        Split from ``_pre_cycle_wbfc`` so the numpy backend can pre-fill
+        the memo for all missing vectors with one batched kernel call and
+        then reuse this loop unchanged.
+        """
+        fc = self._fc
         rk = self._rk
         rbub = self._rbub
         rocc = self._rocc
@@ -751,35 +850,37 @@ class SoAEngine:
         va = self._va
         if not va:
             return
-        P = self._P
+        PV = self._PV
         ready = self._ready
         va_ptr = self._va_ptr
         buf = self._buf
         vafr = self._vafr
         rcand = self._rcand
-        va_didx = self._va_didx
+        va_dbase = self._va_dbase
         va_inring = self._va_inring
-        alloc = self._alloc
+        allocb = self._allocb
         cred = self._cred
         cap = self._cap
         atomic = self._atomic
+        has_adaptive = self._has_adaptive
+        esc_single = self._esc_static is not None
+        wbfc = self._fc_kind == "wbfc"
         allow = self._allow_wbfc if atomic else self._allow_flit
         grant = self._grant
-        if atomic:
+        if wbfc:
             lane_of = self._lane_of
             ring_pos = self._ring_pos
             rk = self._rk
         # One sorted pass groups the waiting set by node; ascending idx
-        # within a node is ascending port, the object engine's scan order.
-        # Grants never touch another node's waiting VCs, so the snapshot
-        # taken here equals the object's per-router visit-time view.
+        # within a node is ascending (port, vc), the object engine's scan
+        # order.  Grants never touch another node's waiting VCs, so the
+        # snapshot taken here equals the object's per-router visit-time view.
         order = sorted(va)
         n = len(order)
         pos = 0
         while pos < n:
-            node = order[pos] // P
-            base = node * P
-            limit = base + P
+            node = order[pos] // PV
+            limit = (node + 1) * PV
             requesters = []
             while pos < n and order[pos] < limit:
                 i = order[pos]
@@ -794,40 +895,162 @@ class SoAEngine:
             for t in range(m):
                 t += offset
                 i = requesters[t if t < m else t - m]
-                if vafr[i] is None:
+                if vafr[i] < 0:
                     vafr[i] = cycle
                 escape = rcand[i][1]
                 if escape == 0:
-                    grant(node, i, buf[i][0].packet, 0, False, False, cycle)
+                    grant(node, i, buf[i][0].packet, 0, 0, -1, False, False, cycle)
                     continue
-                didx = va_didx[i]
-                if didx is None:
+                dbase = va_dbase[i]
+                if dbase < 0:
                     raise RuntimeError(
                         f"escape route of packet {buf[i][0].packet.pid} "
                         f"leaves node {node} through unconnected port {escape}"
                     )
-                if alloc[didx] is not None:
+                in_ring = va_inring[i]
+                packet = buf[i][0].packet
+                if (
+                    has_adaptive
+                    and not in_ring
+                    and self._try_adaptive(node, i, packet, rcand[i][0], cycle)
+                ):
+                    continue
+                if not esc_single:
+                    self._try_escape(node, i, packet, escape, dbase, in_ring, cycle)
+                    continue
+                # Single static escape VC (WBFC / flit-level): inline the
+                # admission test and the in-ring WHITE fast path.
+                didx = dbase
+                if allocb[didx]:
                     continue
                 if atomic:
                     if cred[didx] != cap[didx]:
                         continue
                 elif cred[didx] < 1:
                     continue
-                packet = buf[i][0].packet
-                if va_inring[i]:
+                if in_ring:
                     # In-ring transit: flit-level always admits, and a
                     # WHITE worm-bubble admits unconditionally (Equation
                     # 4) — the common case, decided without the scheme
                     # call.  ``_allow_wbfc`` re-derives the same answer
                     # for the colored targets.
-                    if not atomic or not (
+                    if not wbfc or not (
                         (rk[lane_of[didx]] >> (ring_pos[didx] * 2)) & 3
                     ):
-                        grant(node, i, packet, escape, True, True, cycle)
+                        grant(node, i, packet, escape, 0, didx, True, True, cycle)
                     elif allow(packet, node, didx, True, cycle):
-                        grant(node, i, packet, escape, True, True, cycle)
+                        grant(node, i, packet, escape, 0, didx, True, True, cycle)
                 elif allow(packet, node, didx, False, cycle):
-                    grant(node, i, packet, escape, True, False, cycle)
+                    grant(node, i, packet, escape, 0, didx, True, False, cycle)
+
+    def _va_consider(self, node: int, i: int, cycle: int) -> None:
+        """Attempt allocation for one ready waiting VC.
+
+        Semantically the body of ``_va_phase``'s rotated loop (which keeps
+        an inlined copy for speed); the numpy backend's vectorized VA calls
+        this only for the few requesters its admission prefilter could not
+        decide.  ``va_first_request`` must already be stamped.
+        """
+        buf = self._buf
+        rcand = self._rcand
+        escape = rcand[i][1]
+        if escape == 0:
+            self._grant(node, i, buf[i][0].packet, 0, 0, -1, False, False, cycle)
+            return
+        dbase = int(self._va_dbase[i])
+        if dbase < 0:
+            raise RuntimeError(
+                f"escape route of packet {buf[i][0].packet.pid} "
+                f"leaves node {node} through unconnected port {escape}"
+            )
+        in_ring = bool(self._va_inring[i])
+        packet = buf[i][0].packet
+        if (
+            self._has_adaptive
+            and not in_ring
+            and self._try_adaptive(node, i, packet, rcand[i][0], cycle)
+        ):
+            return
+        self._try_escape(node, i, packet, escape, dbase, in_ring, cycle)
+
+    def _try_adaptive(
+        self, node: int, i: int, packet, adaptive_ports, cycle: int
+    ) -> bool:
+        """Mirror of ``Router._try_adaptive``: congestion-scored port pick,
+        first admitting adaptive VC per port."""
+        out_base = self._out_base
+        cred = self._cred
+        cap = self._cap
+        allocb = self._allocb
+        atomic = self._atomic
+        V = self._V
+        nb = node * self._P
+        best_port = -1
+        best_vc = 0
+        best_didx = -1
+        best_score = -1
+        for port in adaptive_ports:
+            dbase = out_base[nb + port]
+            if dbase is None:
+                continue
+            score = 0
+            for vc in range(V):
+                score += cred[dbase + vc]
+            if score <= best_score:
+                continue
+            for vc in range(self._nev, V):
+                didx = dbase + vc
+                if allocb[didx]:
+                    continue
+                if atomic:
+                    if cred[didx] != cap[didx]:
+                        continue
+                elif cred[didx] < 1:
+                    continue
+                best_port, best_vc, best_didx, best_score = port, vc, didx, score
+                break  # one free VC per port is enough to consider the port
+        if best_port < 0:
+            return False
+        self._grant(node, i, packet, best_port, best_vc, best_didx, False, False, cycle)
+        return True
+
+    def _try_escape(
+        self, node: int, i: int, packet, escape: int, dbase: int,
+        in_ring: bool, cycle: int,
+    ) -> bool:
+        """Mirror of ``Router._try_escape`` for dynamic escape-VC schemes.
+
+        ``escape_vc_choices`` is called exactly once per attempt — its
+        side effects (Dateline's balance toggle) fire whether or not any
+        choice is granted, just like the object router.
+        """
+        fc = self._fc
+        choices = self._esc_static
+        if choices is None:
+            choices = fc.escape_vc_choices(packet, node, escape, in_ring)
+        allocb = self._allocb
+        cred = self._cred
+        cap = self._cap
+        atomic = self._atomic
+        for vc in choices:
+            didx = dbase + vc
+            if allocb[didx]:
+                continue
+            if atomic:
+                if cred[didx] != cap[didx]:
+                    continue
+            elif cred[didx] < 1:
+                continue
+            if self._fc_kind == "dateline":
+                # Dateline never vetoes an admitted escape VC.
+                pass
+            elif not (
+                self._allow_wbfc if atomic else self._allow_flit
+            )(packet, node, didx, in_ring, cycle):
+                continue
+            self._grant(node, i, packet, escape, vc, didx, True, in_ring, cycle)
+            return True
+        return False
 
     def _allow_wbfc(
         self, packet, node: int, didx: int, in_ring: bool, cycle: int
@@ -925,6 +1148,8 @@ class SoAEngine:
         i: int,
         packet,
         out_port: int,
+        out_vc: int,
+        didx: int,
         is_escape_hop: bool,
         in_ring: bool,
         cycle: int,
@@ -935,7 +1160,6 @@ class SoAEngine:
             if ctx is not None:
                 self._leave_ring(packet, node)
         else:
-            didx = self._out_down[node * self._P + out_port]
             rid = self._ring[didx]
             staying = (
                 is_escape_hop
@@ -946,6 +1170,7 @@ class SoAEngine:
             if ctx is not None and not staying:
                 self._leave_ring(packet, node)
             self._alloc[didx] = packet
+            self._allocb[didx] = True
             if self._atomic:
                 self._own[didx] = packet
                 lane = self._lane_of[didx]
@@ -954,18 +1179,26 @@ class SoAEngine:
                     self._rbub[lane] ^= 1 << self._ring_pos[didx]
                     self._rdirty[lane] = True
             if is_escape_hop and rid is not None:
-                if self._atomic:
+                kind = self._fc_kind
+                if kind == "wbfc":
                     self._acquire_wbfc(packet, didx, in_ring, node)
-                else:
+                elif kind == "flit":
                     self._acquire_flit(packet, didx, in_ring, node)
-        key = fc._owned_keys.pop(packet.pid, None)
-        if key is not None and fc.marker_owner.get(key) == packet.pid:
-            del fc.marker_owner[key]
-        wait = cycle - self._vafr[i]
-        port = i % self._P
+                else:
+                    # Dateline's hook reads only static buffer attributes
+                    # and live contexts; call it on the real object.
+                    fc.on_acquire(packet, self._ivcs[didx], in_ring, node, cycle)
+        if self._fc_marks:
+            key = fc._owned_keys.pop(packet.pid, None)
+            if key is not None and fc.marker_owner.get(key) == packet.pid:
+                del fc.marker_owner[key]
+        wait = cycle - int(self._vafr[i])
+        port = (i // self._V) % self._P
         if wait > 0 and (port == 0 or (out_port != 0 and out_port != port)):
             packet.injection_delay += wait
         self._outp[i] = out_port
+        self._outv[i] = out_vc
+        self._odidx[i] = didx
         self._ready[i] = cycle + 1
         self._va.discard(i)
         self._st[i] = 3
@@ -1044,12 +1277,16 @@ class SoAEngine:
         fc._packet_ctx[key_ctx] = ctx
 
     def _leave_ring(self, packet, node: int) -> None:
+        # WBFC/flit-level fold the leftover CH into the local injection
+        # channel; Dateline contexts never carry CH, so the fold is inert
+        # and this one body serves all three schemes.
         fc = self._fc
         ctx = packet.current_ctx
-        key = (node, ctx.ring_id)
-        if ctx.ch:
-            fc.ci[key] = fc.ci.get(key, 0) + ctx.ch
-            ctx.ch = 0
+        if self._fc_marks:
+            key = (node, ctx.ring_id)
+            if ctx.ch:
+                fc.ci[key] = fc.ci.get(key, 0) + ctx.ch
+                ctx.ch = 0
         ctx.closed = True
         packet.current_ctx = None
 
@@ -1059,12 +1296,13 @@ class SoAEngine:
         sa = self._sa
         if not sa:
             return
-        P = self._P
+        PV = self._PV
+        V = self._V
         ready = self._ready
         buf = self._buf
         outp = self._outp
         cred = self._cred
-        va_didx = self._va_didx
+        odidx = self._odidx
         sa_in = self._sa_in
         sa_out = self._sa_out
         send = self._send
@@ -1075,9 +1313,9 @@ class SoAEngine:
         n = len(order)
         pos = 0
         while pos < n:
-            node = order[pos] // P
-            base = node * P
-            limit = base + P
+            node = order[pos] // PV
+            base_p = node * self._P
+            limit = (node + 1) * PV
             start = pos
             while pos < n and order[pos] < limit:
                 pos += 1
@@ -1086,36 +1324,51 @@ class SoAEngine:
                 i = active[0]
                 if cycle >= ready[i] and buf[i]:
                     out_port = outp[i]
-                    if out_port == 0 or cred[va_didx[i]] > 0:
-                        sa_in[i] += 1
-                        sa_out[base + out_port] += 1
+                    if out_port == 0 or cred[odidx[i]] > 0:
+                        sa_in[i // V] += 1
+                        sa_out[base_p + out_port] += 1
                         send(i, cycle)
                 continue
-            # One VC per input port, so each input arbiter has exactly one
-            # candidate: it picks it and advances.  ``base + in_port == i``
-            # collapses the object engine's per-port election to a counter
-            # bump, leaving only the output-port election to arbitrate.
-            requests: dict[int, list[int]] = {}
-            for i in active:
-                if cycle < ready[i] or not buf[i]:
-                    continue
-                out_port = outp[i]
-                if out_port != 0 and cred[va_didx[i]] <= 0:
-                    continue
-                sa_in[i] += 1
-                requests.setdefault(out_port, []).append(i)
+            if V == 1:
+                # One VC per input port: each input arbiter has exactly one
+                # candidate — it picks it and advances, collapsing the
+                # per-port election to a counter bump and leaving only the
+                # output-port election to arbitrate.
+                requests: dict[int, list[int]] = {}
+                for i in active:
+                    if cycle < ready[i] or not buf[i]:
+                        continue
+                    out_port = outp[i]
+                    if out_port != 0 and cred[odidx[i]] <= 0:
+                        continue
+                    sa_in[i] += 1
+                    requests.setdefault(out_port, []).append(i)
+            else:
+                by_port: dict[int, list[int]] = {}
+                for i in active:
+                    if cycle < ready[i] or not buf[i]:
+                        continue
+                    out_port = outp[i]
+                    if out_port != 0 and cred[odidx[i]] <= 0:
+                        continue
+                    by_port.setdefault(i // V, []).append(i)
+                requests = {}
+                for pb, eligible in by_port.items():
+                    ptr = sa_in[pb]
+                    sa_in[pb] = ptr + 1
+                    pick = eligible[ptr % len(eligible)]
+                    requests.setdefault(outp[pick], []).append(pick)
             for out_port, reqs in requests.items():
-                ptr = sa_out[base + out_port]
-                sa_out[base + out_port] = ptr + 1
+                ptr = sa_out[base_p + out_port]
+                sa_out[base_p + out_port] = ptr + 1
                 send(reqs[ptr % len(reqs)], cycle)
 
     def _send(self, idx: int, cycle: int) -> None:
         acc = self._acc
         buf = self._buf[idx]
         flit = buf.popleft()
-        P = self._P
-        port = idx % P
-        if port != 0:
+        local = idx % self._PV < self._V
+        if not local:
             acc[0] -= 1
         elif flit.is_head:
             flit.packet.injected_cycle = cycle
@@ -1126,38 +1379,40 @@ class SoAEngine:
         atomic = self._atomic
         when = cycle + self._st_link_delay
         if out_port == 0:
-            self._ejq[when].append((idx // P, flit))
-            didx = None
+            self._ejq[when].append((idx // self._PV, flit))
+            didx = -1
         else:
-            didx = self._va_didx[idx]
+            didx = int(self._odidx[idx])
             if self._cred[didx] <= 0:
                 raise RuntimeError("sent a flit without a credit")
             self._cred[didx] -= 1
             self._arr[when].append((didx, flit))
             acc[5] += 1
-        if port != 0:
+        if not local:
             # This buffer has an upstream credit mirror; return the slot.
             self._crq[cycle + self._credit_delay].append(
                 (idx, flit.is_tail and atomic)
             )
         acc[1] += 1
-        if not atomic and port != 0:
+        if not atomic and not local:
             self._slot_freed(idx, flit)
         if flit.is_tail:
             if not atomic and out_port != 0:
                 # Non-atomic: downstream accepts the next packet as soon as
                 # this tail is on the wire.
                 self._alloc[didx] = None
-            if port == 0:
+                self._allocb[didx] = False
+            if local:
                 self.network.backlog_packets -= 1
                 self._release(idx)
             elif atomic:
-                self._vacate_wbfc(idx)
-                lane = self._lane_of[idx]
-                if lane is not None:
-                    self._rocc[lane] -= 1
-                    self._rbub[lane] ^= 1 << self._ring_pos[idx]
-                    self._rdirty[lane] = True
+                if self._fc_kind == "wbfc":
+                    self._vacate_wbfc(idx)
+                    lane = self._lane_of[idx]
+                    if lane is not None:
+                        self._rocc[lane] -= 1
+                        self._rbub[lane] ^= 1 << self._ring_pos[idx]
+                        self._rdirty[lane] = True
                 self._release(idx)
             else:
                 self._advance_front(idx, cycle)
@@ -1214,7 +1469,9 @@ class SoAEngine:
         self._own[idx] = None
         self._rcand[idx] = ()
         self._outp[idx] = None
-        self._vafr[idx] = None
+        self._outv[idx] = None
+        self._odidx[idx] = -1
+        self._vafr[idx] = -1
         self._octx[idx] = None
 
     def _advance_front(self, idx: int, cycle: int) -> None:
@@ -1234,7 +1491,9 @@ class SoAEngine:
         self._st[idx] = 1
         self._rc.add(idx)
         self._outp[idx] = None
-        self._vafr[idx] = None
+        self._outv[idx] = None
+        self._odidx[idx] = -1
+        self._vafr[idx] = -1
         # route_candidates deliberately kept stale, as in the object engine.
 
     # -- watchdog --------------------------------------------------------------
@@ -1244,15 +1503,18 @@ class SoAEngine:
         if cycle >= wd._next_starvation_scan:
             # The starvation scan reads the NIC staging slots' owner/state
             # directly; sync just those two fields before delegating.
-            P = self._P
+            PV = self._PV
+            V = self._V
             own = self._own
             st = self._st
             ivcs = self._ivcs
             for node in range(self._N):
-                idx = node * P
-                ivc = ivcs[idx]
-                ivc._owner = own[idx]
-                ivc._state = _ST_ENUM[st[idx]]
+                base = node * PV
+                for vc in range(V):
+                    idx = base + vc
+                    ivc = ivcs[idx]
+                    ivc._owner = own[idx]
+                    ivc._state = _ST_ENUM[st[idx]]
         try:
             wd.observe(cycle)
         except (DeadlockError, StarvationError):

@@ -1,0 +1,438 @@
+"""Numpy-batched engine backend (``backend="numpy"``).
+
+Same flat-array layout, phase schedule, and bit-identity contract as the
+:class:`~repro.sim.soa.SoAEngine` it subclasses — the hot per-buffer
+planes (stage codes, ready cycles, credits, granted-downstream indices,
+escape-route derivatives) just live in ``np.ndarray``s, so each phase
+*selects* its candidates with one masked boolean expression over all
+routers at once instead of walking Python stage sets:
+
+* **RC** — ``flatnonzero((st == ROUTING) & (ready <= cycle))`` picks the
+  ready heads; the route computation itself stays a scalar call per head
+  (it is genuinely per-packet), and the stage/ready/``va_first_request``
+  transitions commit as one sliced write each.
+* **VA** — for single-escape-VC schemes (the WBFC family) a vectorized
+  admission prefilter ``~allocated & (credits == capacity)`` decides
+  every blocked requester without touching Python: admission is monotone
+  within the phase (grants only consume downstream VCs) and a requester
+  that fails it has no side effects beyond the ``va_first_request``
+  stamp, which commits as one masked write.  Only prefilter survivors —
+  typically a handful under congestion — take the scalar rotated-
+  arbitration walk, whose grants re-check admission against intra-node
+  updates.  Dateline and adaptive designs run the inherited scalar VA:
+  Dateline's ``escape_vc_choices`` side effect fires per *attempt*, so
+  no attempt may be prefiltered away.
+* **SA** — a vectorized eligibility mask (stage, readiness, credit
+  gather over granted downstream indices) discards the blocked actives;
+  survivors take the scalar per-node arbitration.  Safe for the same
+  reason as VA: every downstream VC has exactly one upstream feeder
+  node, so cross-node sends cannot resurrect a prefiltered candidate
+  within the cycle.
+* **WB displacement** — dirty-lane vectors missing from the shared memo
+  are evaluated in one :func:`~repro.sim.kernels.displacement_pass_batch`
+  call instead of one pure-Python pass per lane; the memo then serves
+  the inherited sweep loop unchanged.
+
+Object write-backs (``_flush``, packet fields, event calendars) pass
+through ``int()`` so numpy scalars never leak into the object graph or
+its snapshot tree — ``content_hash`` equality demands snapshots that are
+byte-identical across all three backends.
+
+Numpy is a hard dependency of the package (the traffic generators draw
+Bernoulli rows through it), but this module still degrades gracefully:
+when the import fails the backend raises
+:class:`~repro.sim.engine.BackendUnsupported` with witness
+``("dependency", "numpy")`` and ``prepare()`` falls back, keeping
+``backend="numpy"`` specs runnable on a crippled install.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+try:  # pragma: no cover - exercised via the witness test's monkeypatch
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from ..registry import ENGINE_BACKENDS
+from .engine import BackendUnsupported, Simulator
+from .kernels import displacement_pass, displacement_pass_batch
+from .soa import SoAEngine
+
+__all__ = ["NumpySoAEngine"]
+
+
+class NumpySoAEngine(SoAEngine):
+    """SoA engine with numpy-batched phase selection; see module notes."""
+
+    def __init__(self, simulator: Simulator):
+        if np is None:
+            raise BackendUnsupported(
+                "numpy backend: numpy is not importable",
+                ("dependency", "numpy"),
+            )
+        super().__init__(simulator)
+
+    def _load(self) -> None:
+        super()._load()
+        # Hot planes become ``array('q')`` buffers with zero-copy
+        # ``np.frombuffer`` views over the same memory.  The inherited
+        # scalar paths (grants, sends, scheme calls) index the arrays at
+        # near-list speed — ndarray element access costs ~3x a list's and
+        # was measured to cancel the masking wins — while the overrides
+        # below select candidates through the views.  Buffers, owners,
+        # routes, out-ports, lane keys, and arbiter pointers stay Python
+        # lists: they hold objects or feed object/snapshot paths directly.
+        self._st = array("q", self._st)
+        self._ready = array("q", self._ready)
+        self._cred = array("q", self._cred)
+        self._cap = array("q", self._cap)
+        self._vafr = array("q", self._vafr)
+        self._odidx = array("q", self._odidx)
+        self._va_dbase = array("q", self._va_dbase)
+        self._allocb = array("q", self._allocb)
+        self._st_v = np.frombuffer(self._st, dtype=np.int64)
+        self._ready_v = np.frombuffer(self._ready, dtype=np.int64)
+        self._cred_v = np.frombuffer(self._cred, dtype=np.int64)
+        self._cap_v = np.frombuffer(self._cap, dtype=np.int64)
+        self._vafr_v = np.frombuffer(self._vafr, dtype=np.int64)
+        self._odidx_v = np.frombuffer(self._odidx, dtype=np.int64)
+        self._dbase_v = np.frombuffer(self._va_dbase, dtype=np.int64)
+        self._allocb_v = np.frombuffer(self._allocb, dtype=np.int64)
+        self._va_ptr = array("q", self._va_ptr)
+        self._va_ptr_v = np.frombuffer(self._va_ptr, dtype=np.int64)
+        #: LOCAL staging slots as a (nodes, V) view for the NIC-load scan.
+        nodes = len(self._st) // self._PV
+        self._st_local = self._st_v.reshape(nodes, self._PV)[:, : self._V]
+        #: VA prefilter eligibility: single static escape VC and no
+        #: adaptive plane (see module notes for why those two disqualify).
+        self._va_vectorized = self._esc_static is not None and not self._has_adaptive
+
+    # -- NIC loads -------------------------------------------------------------
+
+    def _load_nics(self, cycle: int) -> None:
+        pending = self.network._pending_nic_nodes
+        if not pending:
+            return
+        if len(pending) < 8:
+            # Light load: the scalar walk over the few pending nodes beats
+            # a full staging-slot scan.
+            super()._load_nics(cycle)
+            return
+        # A pending node with no IDLE staging slot is a pure no-op in the
+        # scalar scan (a pending node always has a non-empty queue: offer()
+        # sets the bit only after enqueueing, and only the loads below drain
+        # it), so one vectorized slot scan picks the nodes worth visiting.
+        idle = np.flatnonzero((self._st_local == 0).any(axis=1)).tolist()
+        if not idle:
+            return
+        net = self.network
+        nics = net.nics
+        PV = self._PV
+        V = self._V
+        st = self._st
+        for node in idle:  # ascending == the sorted scan order
+            if node not in pending:
+                continue
+            nic = nics[node]
+            base = node * PV
+            for vc in range(V):
+                idx = base + vc
+                if st[idx] == 0:
+                    break
+            packet = nic.queue.popleft()
+            buf = self._buf[idx]
+            for flit in packet.make_flits():
+                buf.append(flit)
+            self._own[idx] = packet
+            self._ready[idx] = cycle + self._routing_delay
+            st[idx] = 1
+            self._rc.add(idx)
+            if not nic.queue:
+                net.note_nic_pending(node, False)
+
+    # -- RC -------------------------------------------------------------------
+
+    def _rc_phase(self, cycle: int) -> None:
+        rc = self._rc
+        if not rc:
+            return
+        cand = np.flatnonzero((self._st_v == 1) & (self._ready_v <= cycle))
+        if not cand.size:
+            return
+        buf = self._buf
+        route = self._routing.route
+        rcand = self._rcand
+        route_aux = self._route_aux
+        PV = self._PV
+        # flatnonzero is ascending == the object engine's scan order.
+        done = cand.tolist()
+        for i in done:
+            adaptive, escape = route(i // PV, buf[i][0].packet)
+            rcand[i] = (adaptive, escape)
+            route_aux(i, escape)
+        self._st_v[cand] = 2
+        self._ready_v[cand] = cycle + self._vc_alloc_delay
+        self._vafr_v[cand] = -1
+        rc.difference_update(done)
+        self._va.update(done)
+
+    # -- VA -------------------------------------------------------------------
+
+    def _va_phase(self, cycle: int) -> None:
+        if not self._va_vectorized:
+            super()._va_phase(cycle)
+            return
+        if not self._va:
+            return
+        vafr = self._vafr_v
+        req = np.flatnonzero((self._st_v == 2) & (self._ready_v <= cycle))
+        if not req.size:
+            return
+        # va_first_request stamps commit in one masked write: every ready
+        # requester receives the same value, so arbitration order cannot
+        # matter for it.
+        fresh = req[vafr[req] < 0]
+        if fresh.size:
+            vafr[fresh] = cycle
+        # Admission prefilter over the (single) escape target.  dbase < 0
+        # covers both the LOCAL-ejection grant and the unconnected-port
+        # error path — both must reach the scalar walk.
+        dbase = self._dbase_v[req]
+        if self._atomic:
+            admits = (self._allocb_v[dbase] == 0) & (
+                self._cred_v[dbase] == self._cap_v[dbase]
+            )
+        else:
+            admits = (self._allocb_v[dbase] == 0) & (self._cred_v[dbase] >= 1)
+        interesting = admits | (dbase < 0)
+        PV = self._PV
+        nodes = req // PV
+        uniq, first = np.unique(nodes, return_index=True)
+        # One arbiter bump per non-empty requester node, committed as a
+        # single scatter (unique indices); the pre-bump pointers give each
+        # node's rotation offset.
+        ptrs = self._va_ptr_v[uniq]
+        self._va_ptr_v[uniq] = ptrs + 1
+        if not interesting.any():
+            # Every requester is blocked: no state change beyond the
+            # bumps and the vafr stamps above.
+            return
+        # Nodes whose requester segment has at least one prefilter
+        # survivor; only those take the scalar rotated walk below, with
+        # the single-static-escape consider body inlined (the same body
+        # ``_va_phase`` inlines in the base engine).
+        hot_groups = np.flatnonzero(np.maximum.reduceat(interesting, first))
+        req_l = req.tolist()
+        hot = interesting.tolist()
+        first_l = first.tolist()
+        ptr_l = ptrs.tolist()
+        n_req = len(req_l)
+        n_grp = len(first_l)
+        buf = self._buf
+        rcand = self._rcand
+        va_dbase = self._va_dbase
+        va_inring = self._va_inring
+        allocb = self._allocb
+        cred = self._cred
+        cap = self._cap
+        atomic = self._atomic
+        wbfc = self._fc_kind == "wbfc"
+        allow = self._allow_wbfc if atomic else self._allow_flit
+        grant = self._grant
+        if wbfc:
+            lane_of = self._lane_of
+            ring_pos = self._ring_pos
+            rk = self._rk
+        for g in hot_groups.tolist():
+            start = first_l[g]
+            stop = first_l[g + 1] if g + 1 < n_grp else n_req
+            m = stop - start
+            offset = ptr_l[g] % m
+            node = req_l[start] // PV
+            for t in range(m):
+                t += offset
+                pos = start + (t if t < m else t - m)
+                if not hot[pos]:
+                    continue
+                i = req_l[pos]
+                escape = rcand[i][1]
+                if escape == 0:
+                    grant(node, i, buf[i][0].packet, 0, 0, -1, False, False, cycle)
+                    continue
+                didx = va_dbase[i]
+                if didx < 0:
+                    raise RuntimeError(
+                        f"escape route of packet {buf[i][0].packet.pid} "
+                        f"leaves node {node} through unconnected port {escape}"
+                    )
+                # Re-check admission: an earlier grant in this node may
+                # have claimed the same target VC (monotone within the
+                # phase, so a prefilter reject can never turn admissible).
+                if allocb[didx]:
+                    continue
+                if atomic:
+                    if cred[didx] != cap[didx]:
+                        continue
+                elif cred[didx] < 1:
+                    continue
+                in_ring = va_inring[i]
+                packet = buf[i][0].packet
+                if in_ring:
+                    if not wbfc or not (
+                        (rk[lane_of[didx]] >> (ring_pos[didx] * 2)) & 3
+                    ):
+                        grant(node, i, packet, escape, 0, didx, True, True, cycle)
+                    elif allow(packet, node, didx, True, cycle):
+                        grant(node, i, packet, escape, 0, didx, True, True, cycle)
+                elif allow(packet, node, didx, False, cycle):
+                    grant(node, i, packet, escape, 0, didx, True, False, cycle)
+
+    # -- SA -------------------------------------------------------------------
+
+    def _sa_phase(self, cycle: int) -> None:
+        if not self._sa:
+            return
+        act = np.flatnonzero((self._st_v == 3) & (self._ready_v <= cycle))
+        if not act.size:
+            return
+        od = self._odidx_v[act]
+        # Credit gather: -1 (LOCAL ejection) wraps to the last element,
+        # harmlessly — the where() masks it.  Sends during this phase only
+        # decrement credits of the sending node's own targets, whose
+        # eligibility was decided before any send in the object engine too,
+        # so the global snapshot equals the per-router visit-time view.
+        ok = np.where(od < 0, True, self._cred_v[od] > 0)
+        live = act[ok]
+        if not live.size:
+            return
+        V = self._V
+        P = self._P
+        PV = self._PV
+        buf = self._buf
+        outp = self._outp
+        sa_in = self._sa_in
+        sa_out = self._sa_out
+        send = self._send
+        live_l = live.tolist()
+        n = len(live_l)
+        pos = 0
+        while pos < n:
+            i0 = live_l[pos]
+            node = i0 // PV
+            base_p = node * P
+            limit = (node + 1) * PV
+            requests: dict[int, list[int]] = {}
+            if V == 1:
+                while pos < n and live_l[pos] < limit:
+                    i = live_l[pos]
+                    pos += 1
+                    if not buf[i]:
+                        continue
+                    sa_in[i] += 1
+                    requests.setdefault(outp[i], []).append(i)
+            else:
+                by_port: dict[int, list[int]] = {}
+                while pos < n and live_l[pos] < limit:
+                    i = live_l[pos]
+                    pos += 1
+                    if not buf[i]:
+                        continue
+                    by_port.setdefault(i // V, []).append(i)
+                for pb, eligible in by_port.items():
+                    ptr = sa_in[pb]
+                    sa_in[pb] = ptr + 1
+                    pick = eligible[ptr % len(eligible)]
+                    requests.setdefault(outp[pick], []).append(pick)
+            for out_port, reqs in requests.items():
+                ptr = sa_out[base_p + out_port]
+                sa_out[base_p + out_port] = ptr + 1
+                send(reqs[ptr % len(reqs)], cycle)
+
+    # -- WB displacement -------------------------------------------------------
+
+    #: Minimum same-size memo misses in one sweep before the batched
+    #: kernel pays: :func:`displacement_pass_batch` has a large fixed cost
+    #: (one numpy op chain per ring position), so below this it loses to
+    #: the scalar kernel.  Reached only by configurations with very many
+    #: rings churning simultaneously.
+    _BATCH_MIN = 64
+
+    def _displacement_sweep(self, cycle: int) -> None:
+        fc = self._fc
+        rk = self._rk
+        rbub = self._rbub
+        rocc = self._rocc
+        rdirty = self._rdirty
+        lane_k = self._lane_k
+        memo = fc._pass_memo
+        stats = fc._stats_dict
+        pending: list[tuple[int, tuple[int, int, int]]] = []
+        # Single scan: memo hits apply immediately (the base engine's
+        # loop); misses defer so they can be batch-evaluated together.
+        # Lanes are disjoint rings, so applying the deferred entries after
+        # the hits is equivalent to the base engine's in-order sweep.
+        for lane in range(len(lane_k)):
+            if not rdirty[lane]:
+                continue
+            key = rk[lane]
+            if not key:
+                rdirty[lane] = False
+                continue
+            k = lane_k[lane]
+            if rocc[lane] > k - 2:
+                continue
+            vec = (k, key, rbub[lane])
+            entry = memo.get(vec)
+            if entry is None:
+                pending.append((lane, vec))
+                continue
+            writes, new_key, disp, fwd = entry
+            if writes:
+                rk[lane] = new_key
+                if disp:
+                    stats["displacements"] += disp
+                if fwd:
+                    stats["forward_displacements"] += fwd
+            else:
+                rdirty[lane] = False
+        if not pending:
+            return
+        if len(pending) >= self._BATCH_MIN:
+            by_k: dict[int, list[tuple[int, int, int]]] = {}
+            for _, vec in pending:
+                by_k.setdefault(vec[0], []).append(vec)
+            for k, vecs in by_k.items():
+                if len(vecs) < self._BATCH_MIN:
+                    continue
+                if len(memo) + len(vecs) >= 1 << 16:
+                    memo.clear()
+                entries = displacement_pass_batch(
+                    k,
+                    np.asarray([v[1] for v in vecs], dtype=np.int64),
+                    np.asarray([v[2] for v in vecs], dtype=np.int64),
+                )
+                for vec, entry in zip(vecs, entries):
+                    memo[vec] = entry
+        for lane, vec in pending:
+            entry = memo.get(vec)
+            if entry is None:
+                if len(memo) >= 1 << 16:
+                    memo.clear()
+                memo[vec] = entry = displacement_pass(*vec)
+            writes, new_key, disp, fwd = entry
+            if writes:
+                rk[lane] = new_key
+                if disp:
+                    stats["displacements"] += disp
+                if fwd:
+                    stats["forward_displacements"] += fwd
+            else:
+                rdirty[lane] = False
+
+
+@ENGINE_BACKENDS.register("numpy")
+def _numpy_backend(simulator: Simulator) -> NumpySoAEngine:
+    """Numpy-batched SoA backend; bit-identical on the same matrix."""
+    return NumpySoAEngine(simulator)

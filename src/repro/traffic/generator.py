@@ -58,6 +58,12 @@ class SyntheticTraffic:
         self._stash: tuple[int, np.ndarray] | None = None
 
     def step(self, cycle: int, network: Network) -> None:
+        # RNG-stream-position contract: every ticked cycle consumes exactly
+        # one Bernoulli row (plus per-packet destination/length draws), in
+        # cycle order.  Engine backends (object, soa, numpy) all call this
+        # same method once per cycle, so a mid-run backend handoff resumes
+        # at the identical stream position; only ``fast_forward`` (rejected
+        # by the array backends with a witness) draws a different stream.
         if self.packet_probability <= 0:
             return
         stash = self._stash

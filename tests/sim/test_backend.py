@@ -1,13 +1,17 @@
-"""Engine backend seam: SoA/object bit-identity, fallback, and plumbing.
+"""Engine backend seam: soa/numpy/object bit-identity, fallback, plumbing.
 
 The contract under test (see API.md "Engine backends"): for every
-configuration in the SoA backend's supported matrix, ``backend="soa"``
-produces results byte-for-byte identical to the object engine — the same
+configuration in the array backends' supported matrix — single- and
+multi-VC WBFC and Dateline designs on tori, meshes, and rings, open- and
+closed-loop workloads — ``backend="soa"`` and ``backend="numpy"`` produce
+results byte-for-byte identical to the object engine: the same
 ``MeasurementSummary``, the same activity counters, the same flow-control
 statistics, and the same snapshot state tree — so a run may hand over
 between backends mid-flight in either direction.  Outside the matrix the
 factory raises :class:`BackendUnsupported` with a machine-checkable
-witness and ``prepare()`` falls back to the object engine silently.
+witness and ``prepare()`` falls back to the object engine silently.  The
+numpy backend's batched kernels are additionally pinned lane-for-lane to
+the scalar kernels they shadow (``TestKernelDifferential``).
 """
 
 import collections
@@ -101,16 +105,26 @@ def run_backend(backend, design, topology, rate, cycles, switching, seed=3):
             net.act_link_traversals,
             net.act_va_grants,
         ),
-        "fc_stats": dict(net.flow_control.stats),
+        "fc_stats": dict(getattr(net.flow_control, "stats", {})),
         "state": normalize(sim.snapshot().state),
     }
 
 
+#: The widened supported matrix: single-VC worm- and flit-level WBFC,
+#: multi-VC WBFC (Duato adaptive) and Dateline designs, on tori, meshes,
+#: and rings.  Every case is checked against BOTH array backends.
 MATRIX = [
     ("WBFC-1VC", "torus:4x4", 0.10, Switching.WORMHOLE_ATOMIC),
     ("WBFC-1VC", "ring:8", 0.40, Switching.WORMHOLE_ATOMIC),
     ("WBFC-FLIT-1VC", "torus:4x4", 0.35, Switching.WORMHOLE_NONATOMIC),
     ("WBFC-FLIT-1VC", "ring:8", 0.15, Switching.WORMHOLE_NONATOMIC),
+    ("WBFC-2VC", "torus:4x4", 0.15, Switching.WORMHOLE_ATOMIC),
+    ("WBFC-3VC", "torus:4x4", 0.25, Switching.WORMHOLE_ATOMIC),
+    ("DL-2VC", "torus:4x4", 0.15, Switching.WORMHOLE_ATOMIC),
+    ("DL-3VC", "torus:4x4", 0.25, Switching.WORMHOLE_ATOMIC),
+    ("WBFC-1VC", "mesh:4x4", 0.15, Switching.WORMHOLE_ATOMIC),
+    ("WBFC-2VC", "mesh:4x4", 0.25, Switching.WORMHOLE_ATOMIC),
+    ("DL-2VC", "ring:8", 0.30, Switching.WORMHOLE_ATOMIC),
 ]
 
 
@@ -121,12 +135,15 @@ class TestParity:
         ids=[f"{d}-{t}" for d, t, _, _ in MATRIX],
     )
     def test_bit_identity(self, design, topology, rate, switching):
+        # One object reference per case, compared against both array
+        # backends, so the (slowest) reference run is not repeated.
         obj = run_backend("object", design, topology, rate, 1500, switching)
-        soa = run_backend("soa", design, topology, rate, 1500, switching)
-        assert obj["summary"] == soa["summary"]
-        assert obj["counters"] == soa["counters"]
-        assert obj["fc_stats"] == soa["fc_stats"]
-        assert obj["state"] == soa["state"]
+        for backend in ("soa", "numpy"):
+            got = run_backend(backend, design, topology, rate, 1500, switching)
+            assert obj["summary"] == got["summary"], backend
+            assert obj["counters"] == got["counters"], backend
+            assert obj["fc_stats"] == got["fc_stats"], backend
+            assert obj["state"] == got["state"], backend
 
 
 class TestHandoff:
@@ -173,9 +190,36 @@ class TestHandoff:
         b.simulator.run(1000)
         assert normalize(b.simulator.snapshot().state) == reference_state
 
+    def test_object_to_numpy(self, reference_state):
+        a = self._prepared("object")
+        a.simulator.run(1000)
+        snap = a.simulator.snapshot()
+        b = self._prepared("numpy")
+        b.simulator.restore(snap)
+        b.simulator.run(1000)
+        assert b.simulator.cycle == 2000
+        assert normalize(b.simulator.snapshot().state) == reference_state
+
+    def test_numpy_to_object(self, reference_state):
+        a = self._prepared("numpy")
+        a.simulator.run(1000)
+        snap = a.simulator.snapshot()
+        b = self._prepared("object")
+        b.simulator.restore(snap)
+        b.simulator.run(1000)
+        assert normalize(b.simulator.snapshot().state) == reference_state
+
     def test_soa_continues_after_snapshot(self, reference_state):
         """The snapshot flush must leave the arrays live, not wedged."""
         a = self._prepared("soa")
+        a.simulator.run(1000)
+        a.simulator.snapshot()
+        a.simulator.run(1000)
+        assert normalize(a.simulator.snapshot().state) == reference_state
+
+    def test_numpy_continues_after_snapshot(self, reference_state):
+        """Same liveness contract for the numpy views over the planes."""
+        a = self._prepared("numpy")
         a.simulator.run(1000)
         a.simulator.snapshot()
         a.simulator.run(1000)
@@ -201,22 +245,39 @@ class TestFallback:
         assert prepared.backend == "soa"
         assert prepared.backend_unsupported is None
 
-    def test_multi_vc_design_falls_back(self):
-        prepared = prepare(self._spec(design="WBFC-2VC"))
+    @pytest.mark.parametrize("design", ["WBFC-2VC", "DL-2VC"])
+    @pytest.mark.parametrize("backend", ["soa", "numpy"])
+    def test_widened_matrix_is_honored(self, backend, design):
+        # Multi-VC adaptive (WBFC-2VC) and Dateline designs used to fall
+        # back; they are inside the widened matrix now.
+        prepared = prepare(self._spec(design=design, backend=backend))
+        assert prepared.backend == backend
+        assert prepared.backend_unsupported is None
+
+    def test_foreign_flow_control_falls_back(self):
+        prepared = prepare(
+            self._spec(
+                design="CBS-1VC",
+                config=SimulationConfig(switching=Switching.WORMHOLE_NONATOMIC),
+            )
+        )
         assert prepared.backend == "object"
         exc = prepared.backend_unsupported
         assert isinstance(exc, BackendUnsupported)
-        # WBFC-2VC leaves the matrix on its adaptive routing before the
-        # VC count is even examined; either witness names the real gap.
-        assert exc.witness[0] in ("routing", "num_vcs")
+        assert exc.witness == ("flow_control", "cbs")
 
-    def test_foreign_flow_control_falls_back(self):
-        prepared = prepare(self._spec(design="DL-2VC"))
+    def test_missing_numpy_falls_back_with_witness(self, monkeypatch):
+        # Simulate a numpy-less interpreter: the factory must reject with
+        # the dependency witness and prepare() must land on the object
+        # engine rather than crash.
+        import repro.sim.vectorized as vectorized
+
+        monkeypatch.setattr(vectorized, "np", None)
+        prepared = prepare(self._spec(backend="numpy"))
         assert prepared.backend == "object"
-        assert prepared.backend_unsupported.witness[0] in (
-            "flow_control",
-            "num_vcs",
-        )
+        exc = prepared.backend_unsupported
+        assert isinstance(exc, BackendUnsupported)
+        assert exc.witness == ("dependency", "numpy")
 
     def test_telemetry_session_falls_back(self):
         prepared = prepare(self._spec(telemetry=("counters",)))
@@ -288,28 +349,129 @@ class TestRegistryAndSpec:
         assert "REPRO_BACKEND" in _FORWARDED_ENV
 
 
+class TestClosedLoop:
+    """Closed-loop (request-reply) parity: the workload's RNG draws, issue
+    bookkeeping, and completion order must survive the backend swap."""
+
+    CASES = [
+        ("WBFC-1VC", "torus:4x4"),
+        ("WBFC-2VC", "mesh:4x4"),
+        ("DL-2VC", "torus:4x4"),
+    ]
+
+    @staticmethod
+    def _run(backend, design, topology, cycles=2000):
+        from repro.experiments.designs import build_network
+        from repro.sim.engine import Simulator
+        from repro.traffic.parsec import CoherenceWorkload
+
+        net = build_network(design, topology, SimulationConfig())
+        wl = CoherenceWorkload(net, "canneal", transactions_per_core=6, seed=3)
+        sim = Simulator(net, wl, skip_idle=False)
+        eng = sim if backend == "object" else ENGINE_BACKENDS.create(backend, sim)
+        eng.run(cycles)
+        return {
+            "cycle": eng.cycle,
+            "completed": list(wl.completed),
+            "issued": list(wl.issued),
+            "fc_stats": dict(getattr(net.flow_control, "stats", {})),
+            "state": normalize(eng.snapshot().state),
+        }
+
+    @pytest.mark.parametrize(
+        "design,topology", CASES, ids=[f"{d}-{t}" for d, t in CASES]
+    )
+    def test_closed_loop_bit_identity(self, design, topology):
+        obj = self._run("object", design, topology)
+        for backend in ("soa", "numpy"):
+            assert self._run(backend, design, topology) == obj, backend
+
+
+#: Verified (design, topology, switching) combinations the hypothesis
+#: sweep draws from — sampled jointly because not every cross product is
+#: buildable (e.g. Dateline needs ring wraparound that meshes lack).
+_DIFFERENTIAL_COMBOS = [
+    ("WBFC-1VC", "torus:4x4", Switching.WORMHOLE_ATOMIC),
+    ("WBFC-1VC", "ring:8", Switching.WORMHOLE_ATOMIC),
+    ("WBFC-1VC", "ring:4", Switching.WORMHOLE_ATOMIC),
+    ("WBFC-1VC", "mesh:4x4", Switching.WORMHOLE_ATOMIC),
+    ("WBFC-FLIT-1VC", "torus:4x4", Switching.WORMHOLE_NONATOMIC),
+    ("WBFC-FLIT-1VC", "ring:8", Switching.WORMHOLE_NONATOMIC),
+    ("WBFC-2VC", "torus:4x4", Switching.WORMHOLE_ATOMIC),
+    ("WBFC-2VC", "mesh:4x4", Switching.WORMHOLE_ATOMIC),
+    ("DL-2VC", "torus:4x4", Switching.WORMHOLE_ATOMIC),
+    ("DL-2VC", "ring:8", Switching.WORMHOLE_ATOMIC),
+    ("DL-3VC", "torus:4x4", Switching.WORMHOLE_ATOMIC),
+    ("WBFC-3VC", "torus:4x4", Switching.WORMHOLE_ATOMIC),
+]
+
+
 class TestDifferential:
-    """Hypothesis sweep of the supported matrix: any scenario both
-    backends accept must agree on every observable."""
+    """Hypothesis sweep of the widened matrix: any scenario the array
+    backends accept must agree with the object engine on every
+    observable, whichever backend is drawn."""
 
     @settings(max_examples=8, deadline=None)
     @given(
-        design=st.sampled_from(["WBFC-1VC", "WBFC-FLIT-1VC"]),
-        topology=st.sampled_from(["torus:4x4", "ring:8", "ring:4"]),
+        combo=st.sampled_from(_DIFFERENTIAL_COMBOS),
+        backend=st.sampled_from(["soa", "numpy"]),
         rate=st.integers(min_value=2, max_value=35),
         seed=st.integers(min_value=0, max_value=2**16),
         cycles=st.integers(min_value=300, max_value=700),
     )
-    def test_random_scenarios_agree(self, design, topology, rate, seed, cycles):
-        switching = (
-            Switching.WORMHOLE_ATOMIC
-            if design == "WBFC-1VC"
-            else Switching.WORMHOLE_NONATOMIC
-        )
+    def test_random_scenarios_agree(self, combo, backend, rate, seed, cycles):
+        design, topology, switching = combo
         obj = run_backend(
             "object", design, topology, rate / 100, cycles, switching, seed
         )
-        soa = run_backend(
-            "soa", design, topology, rate / 100, cycles, switching, seed
+        got = run_backend(
+            backend, design, topology, rate / 100, cycles, switching, seed
         )
-        assert obj == soa
+        assert obj == got
+
+
+class TestKernelDifferential:
+    """The batched displacement kernel must be lane-for-lane identical to
+    the scalar kernel on arbitrary packed (colors, bubbles) vectors."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        k=st.integers(min_value=2, max_value=12),
+        data=st.data(),
+    )
+    def test_batch_matches_scalar(self, k, data):
+        import numpy as np
+
+        from repro.sim.kernels import displacement_pass, displacement_pass_batch
+
+        lanes = data.draw(st.integers(min_value=1, max_value=8), label="lanes")
+        # Valid packed keys only: each 2-bit field is a WHITE/GRAY/BLACK
+        # code (0..2); 3 is not a color and neither kernel defines it.
+        code_rows = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=2),
+                    min_size=k, max_size=k,
+                ),
+                min_size=lanes, max_size=lanes,
+            ),
+            label="color_codes",
+        )
+        keys = [
+            sum(code << (i + i) for i, code in enumerate(row))
+            for row in code_rows
+        ]
+        masks = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=2**k - 1),
+                min_size=lanes, max_size=lanes,
+            ),
+            label="bubble_masks",
+        )
+        batch = displacement_pass_batch(
+            k, np.array(keys, dtype=np.int64), np.array(masks, dtype=np.int64)
+        )
+        for lane, (key, mask) in enumerate(zip(keys, masks)):
+            assert batch[lane] == displacement_pass(k, key, mask), (
+                f"lane {lane}: k={k} key={key} mask={mask}"
+            )
